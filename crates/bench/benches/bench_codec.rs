@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the comm codec — the per-epoch critical path of
+//! distributed training (every worker encodes/decodes feature-matrix
+//! scale payloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexgraph::comm::{decode_rows, decode_rows_with, encode_flat_rows, encode_rows};
+
+fn payload(rows: usize, dim: usize) -> (Vec<u32>, Vec<f32>) {
+    let ids: Vec<u32> = (0..rows as u32).collect();
+    let flat: Vec<f32> = (0..rows * dim).map(|i| (i as f32 * 0.37).sin()).collect();
+    (ids, flat)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let dim = 64;
+    let (ids, flat) = payload(4_096, dim);
+    let refs: Vec<(u32, &[f32])> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, &flat[i * dim..(i + 1) * dim]))
+        .collect();
+
+    let mut group = c.benchmark_group("codec_4096x64");
+    group.bench_function("encode_rows", |b| b.iter(|| encode_rows(dim, &refs)));
+    group.bench_function("encode_flat_rows", |b| {
+        b.iter(|| encode_flat_rows(dim, &ids, &flat))
+    });
+    let bytes = encode_flat_rows(dim, &ids, &flat);
+    group.bench_function("decode_rows_owned", |b| {
+        b.iter(|| decode_rows(bytes.clone()))
+    });
+    group.bench_function("decode_rows_streaming", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            decode_rows_with(&bytes, |_, row| acc += row[0]);
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

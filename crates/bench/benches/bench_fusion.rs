@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks: fused segment reduction (feature fusion)
+//! vs. the materializing sparse path, the kernel-level effect behind
+//! Figure 14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexgraph::graph::gen::{community, ScaleFactor};
+use flexgraph::tensor::fusion::{segment_reduce, Reduce};
+use flexgraph::tensor::scatter::{gather_rows, scatter_add};
+
+fn bench_fusion_vs_sparse(c: &mut Criterion) {
+    let _ = ScaleFactor::default();
+    let ds = community(4_000, 8, 16, 4, 64, 1234);
+    let g = &ds.graph;
+    let feats = &ds.features;
+    let (dst, src) = g.coo_in();
+
+    let mut group = c.benchmark_group("flat_aggregation");
+    group.bench_function(BenchmarkId::new("fused", "feature_fusion"), |b| {
+        b.iter(|| segment_reduce(feats, g.in_offsets(), g.in_sources(), Reduce::Sum))
+    });
+    group.bench_function(BenchmarkId::new("sparse", "gather_scatter"), |b| {
+        b.iter(|| {
+            let messages = gather_rows(feats, &src);
+            scatter_add(&messages, &dst, g.num_vertices())
+        })
+    });
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    use flexgraph::tensor::Tensor;
+    let a = Tensor::from_vec(512, 128, (0..512 * 128).map(|i| (i % 13) as f32).collect());
+    let w = Tensor::from_vec(128, 64, (0..128 * 64).map(|i| (i % 7) as f32).collect());
+    c.bench_function("matmul_512x128x64", |b| b.iter(|| a.matmul(&w)));
+}
+
+criterion_group!(benches, bench_fusion_vs_sparse, bench_matmul);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the three hierarchical-aggregation strategies
+//! (SA / SA+FA / HA) on a MAGNN-shaped HDG — the stable-timing companion
+//! to the `fig14_hybrid` harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexgraph::engine::hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
+use flexgraph::engine::MemoryBudget;
+use flexgraph::graph::gen::hetero_imdb;
+use flexgraph::hdg::build::from_metapaths;
+use flexgraph_bench::magnn_metapaths;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = hetero_imdb(3_000, 3, 4, 64, 99);
+    let typed = ds.typed();
+    let hdg = from_metapaths(
+        &typed,
+        (0..ds.graph.num_vertices() as u32).collect(),
+        &magnn_metapaths(),
+        20,
+    );
+    let plan = AggrPlan {
+        leaf_op: AggrOp::Mean,
+        instance_op: AggrOp::Mean,
+        schema_op: AggrOp::Mean,
+    };
+    let budget = MemoryBudget::unlimited();
+
+    let mut group = c.benchmark_group("hierarchical_aggregation");
+    for (name, strategy) in [
+        ("SA", Strategy::Sa),
+        ("SA+FA", Strategy::SaFa),
+        ("HA", Strategy::Ha),
+    ] {
+        group.bench_function(BenchmarkId::new("strategy", name), |b| {
+            b.iter(|| hierarchical_aggregate(&hdg, &ds.features, &plan, strategy, &budget).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation benchmarks for the NeighborSelection stage: FlexGraph's
+//! graph-engine execution vs. the baselines' tensor-style execution.
+//!
+//! * random walks: direct adjacency hops vs. GAS propagation stages
+//!   (the ≥95 %-of-epoch cost of §7.1),
+//! * metapath search: type-pruned DFS vs. unpruned expand-then-filter,
+//! * HDG construction: the counting-sort builder on walk-scale inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexgraph::engine::gas::gas_walk_neighbors;
+use flexgraph::engine::MemoryBudget;
+use flexgraph::graph::gen::{community, hetero_imdb};
+use flexgraph::graph::metapath::{find_instances_all, Metapath};
+use flexgraph::graph::walk::{importance_neighbors_all, WalkConfig};
+use flexgraph::hdg::build::from_importance_walks;
+
+fn bench_walks(c: &mut Criterion) {
+    let ds = community(2_000, 4, 12, 4, 8, 77);
+    let cfg = WalkConfig::default();
+    let mut group = c.benchmark_group("pinsage_selection");
+    group.bench_function("flexgraph_direct_walks", |b| {
+        b.iter(|| importance_neighbors_all(&ds.graph, &cfg, 5))
+    });
+    group.bench_function("gas_propagation_stages", |b| {
+        b.iter(|| gas_walk_neighbors(&ds.graph, &cfg, 5, &MemoryBudget::unlimited()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_metapath_search(c: &mut Criterion) {
+    let ds = hetero_imdb(1_500, 4, 4, 8, 78);
+    let typed = ds.typed();
+    let mps = vec![Metapath::new(vec![0, 1, 0]), Metapath::new(vec![0, 2, 0])];
+    c.bench_function("magnn_pruned_instance_search", |b| {
+        b.iter(|| find_instances_all(&typed, &mps, 30))
+    });
+}
+
+fn bench_hdg_build(c: &mut Criterion) {
+    let ds = community(2_000, 4, 12, 4, 8, 79);
+    let roots: Vec<u32> = (0..2_000).collect();
+    c.bench_function("hdg_build_from_walks", |b| {
+        b.iter(|| from_importance_walks(&ds.graph, roots.clone(), &WalkConfig::default(), 9))
+    });
+}
+
+criterion_group!(benches, bench_walks, bench_metapath_search, bench_hdg_build);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+#![warn(missing_docs)]
+
+//! Shared utilities for the experiment harnesses.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a binary in
+//! `src/bin/` that regenerates it; this library holds what they share:
+//! dataset presets, the synthetic vertex typing that lets MAGNN run on
+//! homogeneous graphs (the paper does the same on Reddit/FB91/Twitter:
+//! "the input graph consists of 3 types of vertices, and we define 6
+//! metapath types"), timing helpers, and table formatting.
+
+pub mod workloads;
+
+use flexgraph::graph::gen::{fb_like, imdb_like, reddit_like, twitter_like, Dataset, ScaleFactor};
+use flexgraph::graph::metapath::Metapath;
+use flexgraph::prelude::*;
+use std::time::{Duration, Instant};
+
+/// The benchmark scale factor: 1.0 is the documented default; override
+/// with `FLEXGRAPH_BENCH_SCALE` (e.g. `0.125` for smoke runs).
+pub fn bench_scale() -> ScaleFactor {
+    let s = std::env::var("FLEXGRAPH_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.25);
+    ScaleFactor(s)
+}
+
+/// The three homogeneous evaluation datasets (Reddit / FB91 / Twitter
+/// stand-ins) at the benchmark scale.
+pub fn homogeneous_datasets() -> Vec<Dataset> {
+    let s = bench_scale();
+    vec![reddit_like(s), fb_like(s), twitter_like(s)]
+}
+
+/// All four datasets, including the heterogeneous IMDB stand-in.
+pub fn all_datasets() -> Vec<Dataset> {
+    let mut v = homogeneous_datasets();
+    v.push(imdb_like(bench_scale()));
+    v
+}
+
+/// Attaches the paper's synthetic 3-type coloring to a homogeneous
+/// dataset so MAGNN can run on it (vertex id modulo 3).
+pub fn with_synthetic_types(ds: &Dataset) -> TypedGraph {
+    match &ds.types {
+        Some(t) => TypedGraph::new(ds.graph.clone(), t.clone()),
+        None => {
+            let types = (0..ds.graph.num_vertices())
+                .map(|v| (v % 3) as u8)
+                .collect();
+            TypedGraph::new(ds.graph.clone(), types)
+        }
+    }
+}
+
+/// The 6 three-vertex metapaths of the paper's MAGNN setup, over the
+/// synthetic 3-type coloring.
+pub fn magnn_metapaths() -> Vec<Metapath> {
+    vec![
+        Metapath::new(vec![0, 1, 0]),
+        Metapath::new(vec![0, 2, 0]),
+        Metapath::new(vec![1, 0, 1]),
+        Metapath::new(vec![1, 2, 1]),
+        Metapath::new(vec![2, 0, 2]),
+        Metapath::new(vec![2, 1, 2]),
+    ]
+}
+
+/// Per-(root, metapath) instance cap used everywhere MAGNN runs — the
+/// laptop-scale stand-in for the paper's fixed metapath workload. The
+/// cap applies identically to FlexGraph and every baseline.
+pub const MAGNN_INSTANCE_CAP: usize = 30;
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed(), r)
+}
+
+/// Times a closure, repeating `reps` times and reporting the mean.
+pub fn time_mean<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(reps >= 1, "need at least one repetition");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / reps as u32
+}
+
+/// Formats a duration as seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// An outcome cell of a comparison table: a time, an OOM, or
+/// "unsupported" (the paper's ✗).
+pub enum Cell {
+    /// Measured seconds.
+    Time(Duration),
+    /// Exceeded the transient-memory budget.
+    Oom,
+    /// The system cannot express the model.
+    Unsupported,
+}
+
+impl Cell {
+    /// Builds a cell from an engine result.
+    pub fn from_result<T>(r: Result<(Duration, T), EngineError>) -> Self {
+        match r {
+            Ok((d, _)) => Cell::Time(d),
+            Err(EngineError::Oom { .. }) => Cell::Oom,
+            Err(EngineError::Unsupported(_)) => Cell::Unsupported,
+        }
+    }
+}
+
+impl std::fmt::Display for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cell::Time(d) => write!(f, "{:>9}", secs(*d)),
+            Cell::Oom => write!(f, "{:>9}", "OOM"),
+            Cell::Unsupported => write!(f, "{:>9}", "X"),
+        }
+    }
+}
+
+/// The transient-memory budget used by the Table 2/3 harnesses: a fixed
+/// multiple of the dataset's fused working set (`|E| × dim` floats),
+/// mirroring how the paper's 512 GB machines relate to its billion-edge
+/// graphs. FlexGraph's fused paths use ~0 transient bytes; sparse
+/// executions materialize at least `|E| × dim`, hierarchical ones far
+/// more.
+pub fn table_budget(ds: &Dataset) -> MemoryBudget {
+    let bytes = 3 * ds.graph.num_edges() * ds.feature_dim() * 4;
+    MemoryBudget {
+        bytes: bytes.max(64 * 1024 * 1024),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_types_cover_three_classes() {
+        let ds = &homogeneous_datasets()[0];
+        let t = with_synthetic_types(ds);
+        assert_eq!(t.num_types(), 3);
+    }
+
+    #[test]
+    fn cells_format() {
+        assert_eq!(format!("{}", Cell::Oom).trim(), "OOM");
+        assert_eq!(format!("{}", Cell::Unsupported).trim(), "X");
+    }
+
+    #[test]
+    fn time_mean_requires_reps() {
+        let d = time_mean(3, || std::hint::black_box(1 + 1));
+        assert!(d < Duration::from_millis(10));
+    }
+}

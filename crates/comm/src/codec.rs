@@ -1,0 +1,214 @@
+//! Feature-row message encoding.
+//!
+//! Distributed aggregation ships `(vertex id, feature row)` pairs between
+//! workers. The codec is a fixed little-endian framing over [`bytes`]:
+//! `u32 row_count, u32 dim, then row_count × (u32 id, dim × f32)`.
+//!
+//! Encoding and decoding sit on the critical path of every distributed
+//! epoch (each worker moves feature-matrix-sized payloads), so both have
+//! bulk paths: rows are serialized with a single byte-cast copy, and
+//! [`decode_rows_with`] streams borrowed row slices without per-row
+//! allocation.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Reinterprets an `f32` slice as bytes.
+fn f32_bytes(row: &[f32]) -> &[u8] {
+    // SAFETY: `f32` has no padding and alignment 4 ≥ 1; any initialized
+    // f32 buffer is a valid byte buffer of 4× the length. The cast is
+    // only used on little-endian targets (checked below) so the wire
+    // format stays LE.
+    unsafe { std::slice::from_raw_parts(row.as_ptr().cast::<u8>(), row.len() * 4) }
+}
+
+/// Encodes `(id, row)` pairs; every row must have length `dim`.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dim`.
+pub fn encode_rows(dim: usize, rows: &[(u32, &[f32])]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + rows.len() * (4 + dim * 4));
+    buf.put_u32_le(rows.len() as u32);
+    buf.put_u32_le(dim as u32);
+    for (id, row) in rows {
+        assert_eq!(row.len(), dim, "row width mismatch in encode_rows");
+        buf.put_u32_le(*id);
+        if cfg!(target_endian = "little") {
+            buf.put_slice(f32_bytes(row));
+        } else {
+            for &x in *row {
+                buf.put_f32_le(x);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Encodes rows stored as one flat buffer (`ids.len()` rows of `dim`
+/// contiguous floats) — the zero-allocation sender path for partial
+/// aggregation.
+///
+/// # Panics
+///
+/// Panics when `flat.len() != ids.len() * dim`.
+pub fn encode_flat_rows(dim: usize, ids: &[u32], flat: &[f32]) -> Bytes {
+    assert_eq!(flat.len(), ids.len() * dim, "flat buffer size mismatch");
+    let mut buf = BytesMut::with_capacity(8 + ids.len() * (4 + dim * 4));
+    buf.put_u32_le(ids.len() as u32);
+    buf.put_u32_le(dim as u32);
+    for (i, &id) in ids.iter().enumerate() {
+        buf.put_u32_le(id);
+        let row = &flat[i * dim..(i + 1) * dim];
+        if cfg!(target_endian = "little") {
+            buf.put_slice(f32_bytes(row));
+        } else {
+            for &x in row {
+                buf.put_f32_le(x);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Streams the rows of a buffer produced by [`encode_rows`] to `visit`,
+/// decoding each row into a reused scratch buffer (no per-row
+/// allocation). Returns the row dimension.
+///
+/// # Panics
+///
+/// Panics on a malformed buffer (truncated payload).
+pub fn decode_rows_with(buf: &Bytes, mut visit: impl FnMut(u32, &[f32])) -> usize {
+    let b = buf.as_ref();
+    assert!(b.len() >= 8, "truncated header");
+    let count = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
+    let dim = u32::from_le_bytes(b[4..8].try_into().unwrap()) as usize;
+    let row_bytes = 4 + dim * 4;
+    assert!(
+        b.len() - 8 >= count * row_bytes,
+        "truncated payload: want {count} rows of dim {dim}"
+    );
+    let mut scratch = vec![0.0f32; dim];
+    let mut off = 8usize;
+    for _ in 0..count {
+        let id = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+        off += 4;
+        for (x, chunk) in scratch
+            .iter_mut()
+            .zip(b[off..off + dim * 4].chunks_exact(4))
+        {
+            *x = f32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        off += dim * 4;
+        visit(id, &scratch);
+    }
+    dim
+}
+
+/// Decodes a buffer produced by [`encode_rows`] into owned rows.
+///
+/// # Panics
+///
+/// Panics on a malformed buffer (truncated payload).
+pub fn decode_rows(mut buf: Bytes) -> (usize, Vec<(u32, Vec<f32>)>) {
+    assert!(buf.remaining() >= 8, "truncated header");
+    let count = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    assert!(
+        buf.remaining() >= count * (4 + dim * 4),
+        "truncated payload: want {} rows of dim {}",
+        count,
+        dim
+    );
+    let mut rows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = buf.get_u32_le();
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            row.push(buf.get_f32_le());
+        }
+        rows.push((id, row));
+    }
+    (dim, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let r0 = [1.0f32, -2.5, 3.25];
+        let r1 = [0.0f32, f32::MAX, f32::MIN_POSITIVE];
+        let enc = encode_rows(3, &[(7, &r0), (42, &r1)]);
+        let (dim, rows) = decode_rows(enc);
+        assert_eq!(dim, 3);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (7, r0.to_vec()));
+        assert_eq!(rows[1], (42, r1.to_vec()));
+    }
+
+    #[test]
+    fn streaming_decode_matches_owned_decode() {
+        let r0 = [1.5f32, -2.25];
+        let r1 = [9.0f32, 0.125];
+        let enc = encode_rows(2, &[(1, &r0), (2, &r1)]);
+        let mut got = Vec::new();
+        let dim = decode_rows_with(&enc, |id, row| got.push((id, row.to_vec())));
+        assert_eq!(dim, 2);
+        let (_, want) = decode_rows(enc);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_message_round_trips() {
+        let enc = encode_rows(5, &[]);
+        let (dim, rows) = decode_rows(enc);
+        assert_eq!(dim, 5);
+        assert!(rows.is_empty());
+        let d2 = decode_rows_with(&encode_rows(5, &[]), |_, _| panic!("no rows"));
+        assert_eq!(d2, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_buffer_panics() {
+        let enc = encode_rows(3, &[(1, &[1.0, 2.0, 3.0])]);
+        let cut = enc.slice(0..enc.len() - 4);
+        let _ = decode_rows(cut);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_buffer_panics_streaming() {
+        let enc = encode_rows(3, &[(1, &[1.0, 2.0, 3.0])]);
+        let cut = enc.slice(0..enc.len() - 4);
+        let _ = decode_rows_with(&cut, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_rejected() {
+        let _ = encode_rows(2, &[(0, &[1.0, 2.0, 3.0])]);
+    }
+
+    #[test]
+    fn large_payload_round_trips_exactly() {
+        let dim = 64;
+        let rows: Vec<Vec<f32>> = (0..500)
+            .map(|r| (0..dim).map(|c| (r * dim + c) as f32 * 0.5 - 7.0).collect())
+            .collect();
+        let refs: Vec<(u32, &[f32])> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u32, r.as_slice()))
+            .collect();
+        let enc = encode_rows(dim, &refs);
+        let mut i = 0usize;
+        decode_rows_with(&enc, |id, row| {
+            assert_eq!(id as usize, i);
+            assert_eq!(row, rows[i].as_slice());
+            i += 1;
+        });
+        assert_eq!(i, 500);
+    }
+}

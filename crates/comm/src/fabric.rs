@@ -1,0 +1,366 @@
+//! The worker fabric: channels, barriers, tagged receive, all-to-all.
+
+use crate::stats::{CommStats, CostModel};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// A delivered message.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Rank of the sender.
+    pub from: usize,
+    /// Application tag (phase / round discriminator).
+    pub tag: u32,
+    /// Payload bytes.
+    pub payload: Bytes,
+    deliver_at: Instant,
+}
+
+/// Deterministic fault injection, standing in for the fault-tolerance
+/// module of the paper's architecture (Figure 12). Applied at send time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Extra wire delay added to every message, in microseconds.
+    pub extra_delay_us: f64,
+    /// Duplicate every n-th message (0 disables). Receivers must be
+    /// idempotent or deduplicate by tag protocol.
+    pub duplicate_every: u64,
+}
+
+struct Shared {
+    stats: CommStats,
+    model: CostModel,
+    fault: Mutex<FaultPlan>,
+    sent_counter: AtomicU64,
+}
+
+/// Handle used to build a worker fleet and read fabric-wide stats.
+pub struct Fabric {
+    shared: Arc<Shared>,
+}
+
+impl Fabric {
+    /// Creates a fabric of `k` workers, returning per-worker endpoints.
+    pub fn new(k: usize, model: CostModel) -> (Self, Vec<WorkerComm>) {
+        assert!(k >= 1, "need at least one worker");
+        let shared = Arc::new(Shared {
+            stats: CommStats::default(),
+            model,
+            fault: Mutex::new(FaultPlan::default()),
+            sent_counter: AtomicU64::new(0),
+        });
+        let barrier = Arc::new(Barrier::new(k));
+        let mut senders = Vec::with_capacity(k);
+        let mut receivers = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (s, r) = unbounded::<Message>();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| WorkerComm {
+                rank,
+                k,
+                senders: senders.clone(),
+                receiver,
+                pending: Vec::new(),
+                barrier: barrier.clone(),
+                shared: shared.clone(),
+            })
+            .collect();
+        (Self { shared }, workers)
+    }
+
+    /// Fabric-wide traffic counters.
+    pub fn stats(&self) -> &CommStats {
+        &self.shared.stats
+    }
+
+    /// Installs a fault plan for all subsequent sends.
+    pub fn set_fault(&self, plan: FaultPlan) {
+        *self.shared.fault.lock() = plan;
+    }
+}
+
+/// One worker's endpoint into the fabric.
+pub struct WorkerComm {
+    rank: usize,
+    k: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    /// Out-of-order messages parked until their tag is asked for.
+    pending: Vec<Message>,
+    barrier: Arc<Barrier>,
+    shared: Arc<Shared>,
+}
+
+impl WorkerComm {
+    /// This worker's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.k
+    }
+
+    /// Sends `payload` to worker `to` with application `tag`.
+    ///
+    /// Delivery is delayed by the cost model's wire time (when
+    /// `simulate_delay` is on), so the sender returns immediately and the
+    /// payload is "in flight" — the property pipeline processing overlaps
+    /// against.
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
+        let fault = *self.shared.fault.lock();
+        let wire_us = self.shared.model.wire_us(payload.len()) + fault.extra_delay_us;
+        self.shared.stats.record(payload.len(), wire_us);
+        let deliver_at = if self.shared.model.simulate_delay {
+            Instant::now() + Duration::from_nanos((wire_us * 1_000.0) as u64)
+        } else {
+            Instant::now()
+        };
+        let msg = Message {
+            from: self.rank,
+            tag,
+            payload,
+            deliver_at,
+        };
+        let n = self.shared.sent_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if fault.duplicate_every != 0 && n.is_multiple_of(fault.duplicate_every) {
+            let _ = self.senders[to].send(msg.clone());
+        }
+        self.senders[to]
+            .send(msg)
+            .expect("fabric receiver dropped while workers alive");
+    }
+
+    /// Receives the next message carrying `tag`, blocking until its
+    /// modeled delivery time. Messages with other tags are parked.
+    pub fn recv_tag(&mut self, tag: u32) -> Message {
+        if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
+            let msg = self.pending.swap_remove(pos);
+            wait_until(msg.deliver_at);
+            return msg;
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("fabric sender dropped while receiving");
+            if msg.tag == tag {
+                wait_until(msg.deliver_at);
+                return msg;
+            }
+            self.pending.push(msg);
+        }
+    }
+
+    /// Non-blocking probe: whether a message with `tag` has *arrived*
+    /// (its wire time may still be pending).
+    pub fn has_tag(&mut self, tag: u32) -> bool {
+        while let Ok(msg) = self.receiver.try_recv() {
+            self.pending.push(msg);
+        }
+        self.pending.iter().any(|m| m.tag == tag)
+    }
+
+    /// Blocks until every worker reaches the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// All-to-all exchange for one round: sends `outgoing[p]` to each
+    /// other worker `p` (entries for `self.rank` are ignored), then
+    /// receives exactly one message from every other worker. Returns
+    /// `(from, payload)` pairs in arrival order.
+    pub fn exchange(&mut self, tag: u32, outgoing: Vec<Bytes>) -> Vec<(usize, Bytes)> {
+        assert_eq!(outgoing.len(), self.k, "one payload slot per worker");
+        for (p, payload) in outgoing.into_iter().enumerate() {
+            if p != self.rank {
+                self.send(p, tag, payload);
+            }
+        }
+        let mut seen = vec![false; self.k];
+        let mut got = Vec::with_capacity(self.k - 1);
+        while got.len() < self.k - 1 {
+            let msg = self.recv_tag(tag);
+            // Deduplicate (fault injection may duplicate messages).
+            if seen[msg.from] {
+                continue;
+            }
+            seen[msg.from] = true;
+            got.push((msg.from, msg.payload));
+        }
+        got
+    }
+}
+
+fn wait_until(t: Instant) {
+    let now = Instant::now();
+    if t > now {
+        std::thread::sleep(t - now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CostModel;
+
+    fn spawn_workers<F, R>(k: usize, model: CostModel, f: F) -> (Fabric, Vec<R>)
+    where
+        F: Fn(WorkerComm) -> R + Sync,
+        R: Send,
+    {
+        let (fabric, workers) = Fabric::new(k, model);
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = workers.into_iter().map(|w| s.spawn(|_| f(w))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        (fabric, results)
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (_fabric, results) = spawn_workers(2, CostModel::accounting_only(), |mut w| {
+            if w.rank() == 0 {
+                w.send(1, 7, Bytes::from_static(b"hello"));
+                Vec::new()
+            } else {
+                let m = w.recv_tag(7);
+                assert_eq!(m.from, 0);
+                m.payload.to_vec()
+            }
+        });
+        assert_eq!(results[1], b"hello");
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order() {
+        let (_f, results) = spawn_workers(2, CostModel::accounting_only(), |mut w| {
+            if w.rank() == 0 {
+                w.send(1, 1, Bytes::from_static(b"first-tag"));
+                w.send(1, 2, Bytes::from_static(b"second-tag"));
+                Vec::new()
+            } else {
+                // Ask for tag 2 first; tag 1's message must be parked and
+                // still retrievable afterwards.
+                let m2 = w.recv_tag(2);
+                let m1 = w.recv_tag(1);
+                vec![m2.payload.to_vec(), m1.payload.to_vec()]
+            }
+        });
+        assert_eq!(results[1][0], b"second-tag");
+        assert_eq!(results[1][1], b"first-tag");
+    }
+
+    #[test]
+    fn exchange_is_complete_and_attributed() {
+        let k = 4;
+        let (fabric, results) = spawn_workers(k, CostModel::accounting_only(), |mut w| {
+            let rank = w.rank() as u8;
+            let out: Vec<Bytes> = (0..k).map(|_| Bytes::copy_from_slice(&[rank])).collect();
+            let mut got = w.exchange(9, out);
+            got.sort_by_key(|(from, _)| *from);
+            got
+        });
+        for (rank, got) in results.iter().enumerate() {
+            assert_eq!(got.len(), k - 1);
+            for (from, payload) in got {
+                assert_ne!(*from, rank);
+                assert_eq!(payload.as_ref(), &[*from as u8]);
+            }
+        }
+        assert_eq!(fabric.stats().messages(), (k * (k - 1)) as u64);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let (_f, results) = spawn_workers(3, CostModel::accounting_only(), |w| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            w.barrier();
+            // After the barrier everyone must observe all increments.
+            counter.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn modeled_delay_actually_delays() {
+        let model = CostModel {
+            alpha_us: 20_000.0,
+            bytes_per_us: 1e9,
+            simulate_delay: true,
+        };
+        let (_f, results) = spawn_workers(2, model, |mut w| {
+            if w.rank() == 0 {
+                let t0 = Instant::now();
+                w.send(1, 0, Bytes::from_static(b"x"));
+                // Sender must NOT block on the wire.
+                t0.elapsed()
+            } else {
+                let t0 = Instant::now();
+                let _ = w.recv_tag(0);
+                t0.elapsed()
+            }
+        });
+        assert!(results[0] < Duration::from_millis(5), "send is async");
+        assert!(
+            results[1] >= Duration::from_millis(15),
+            "delivery waits for wire time, got {:?}",
+            results[1]
+        );
+    }
+
+    #[test]
+    fn duplicate_fault_is_deduplicated_by_exchange() {
+        let (fabric, _) = {
+            let (fabric, workers) = Fabric::new(2, CostModel::accounting_only());
+            fabric.set_fault(FaultPlan {
+                extra_delay_us: 0.0,
+                duplicate_every: 1,
+            });
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .map(|mut w| {
+                        s.spawn(move |_| {
+                            let out = vec![Bytes::from_static(b"p"); 2];
+                            let got = w.exchange(3, out);
+                            assert_eq!(got.len(), 1, "duplicates must collapse");
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            (fabric, ())
+        };
+        // Every original message was duplicated.
+        assert_eq!(fabric.stats().messages(), 2);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let (fabric, _) = spawn_workers(2, CostModel::accounting_only(), |mut w| {
+            if w.rank() == 0 {
+                w.send(1, 0, Bytes::from(vec![0u8; 1024]));
+            } else {
+                let _ = w.recv_tag(0);
+            }
+        });
+        assert_eq!(fabric.stats().bytes(), 1024);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the message codec: arbitrary payloads round-trip
+//! exactly through both encoders and both decoders.
+
+use flexgraph_comm::{decode_rows, decode_rows_with, encode_flat_rows, encode_rows};
+use proptest::prelude::*;
+
+fn rows_strategy() -> impl Strategy<Value = (usize, Vec<u32>, Vec<f32>)> {
+    (0usize..40, 1usize..16).prop_flat_map(|(rows, dim)| {
+        (
+            proptest::collection::vec(0u32..1_000_000, rows),
+            proptest::collection::vec(
+                prop_oneof![
+                    -1e6f32..1e6,
+                    Just(0.0f32),
+                    Just(f32::MIN_POSITIVE),
+                    Just(-0.0f32),
+                ],
+                rows * dim,
+            ),
+        )
+            .prop_map(move |(ids, flat)| (dim, ids, flat))
+    })
+}
+
+proptest! {
+    #[test]
+    fn flat_and_ref_encoders_agree((dim, ids, flat) in rows_strategy()) {
+        let refs: Vec<(u32, &[f32])> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, &flat[i * dim..(i + 1) * dim]))
+            .collect();
+        let a = encode_rows(dim, &refs);
+        let b = encode_flat_rows(dim, &ids, &flat);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owned_and_streaming_decoders_agree((dim, ids, flat) in rows_strategy()) {
+        let enc = encode_flat_rows(dim, &ids, &flat);
+        let (d1, owned) = decode_rows(enc.clone());
+        let mut streamed = Vec::new();
+        let d2 = decode_rows_with(&enc, |id, row| streamed.push((id, row.to_vec())));
+        prop_assert_eq!(d1, dim);
+        prop_assert_eq!(d2, dim);
+        prop_assert_eq!(owned, streamed);
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact((dim, ids, flat) in rows_strategy()) {
+        let enc = encode_flat_rows(dim, &ids, &flat);
+        let (_, rows) = decode_rows(enc);
+        prop_assert_eq!(rows.len(), ids.len());
+        for (i, (id, row)) in rows.iter().enumerate() {
+            prop_assert_eq!(*id, ids[i]);
+            // Bit-exact comparison (covers -0.0 and subnormals).
+            for (a, b) in row.iter().zip(&flat[i * dim..(i + 1) * dim]) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}

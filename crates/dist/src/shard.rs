@@ -1,0 +1,109 @@
+//! Per-worker shards of a partitioned dataset.
+//!
+//! FlexGraph replicates the (read-only) graph structure to every worker —
+//! as the paper's DFS-backed storage layer does — while *features* are
+//! sharded by vertex ownership: each worker holds the feature rows of the
+//! vertices its partition owns, and every cross-partition feature access
+//! goes through the comm fabric.
+
+use flexgraph_graph::{Graph, Partitioning, VertexId};
+use flexgraph_hdg::Hdg;
+use flexgraph_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One worker's slice of the problem.
+#[derive(Clone)]
+pub struct Shard {
+    /// Worker rank.
+    pub rank: usize,
+    /// Owned vertices, ascending (both roots of the local HDGs and owners
+    /// of the local feature rows).
+    pub roots: Vec<VertexId>,
+    /// HDGs of the owned roots.
+    pub hdg: Arc<Hdg>,
+    /// Feature rows of the owned vertices, in `roots` order.
+    pub feats: Tensor,
+    /// Global vertex → owning worker map (shared, read-only).
+    pub owner: Arc<Vec<u32>>,
+    /// Owned vertex → local feature row.
+    pub local_row: HashMap<VertexId, u32>,
+    /// The replicated input graph (read-only; needed by execution modes
+    /// that expand neighborhoods at run time, e.g. DistDGL-like k-hop
+    /// closures).
+    pub graph: Option<Arc<Graph>>,
+}
+
+impl Shard {
+    /// Local feature row index of an owned vertex.
+    pub fn row_of(&self, v: VertexId) -> u32 {
+        self.local_row[&v]
+    }
+}
+
+/// Carves shards out of a dataset: one per part of `part`, with HDGs
+/// built by `build_hdg` over each worker's root set.
+pub fn make_shards(
+    num_vertices: usize,
+    feats: &Tensor,
+    part: &Partitioning,
+    build_hdg: impl Fn(&[VertexId]) -> Hdg,
+) -> Vec<Shard> {
+    assert_eq!(
+        part.assignment.len(),
+        num_vertices,
+        "partitioning covers all vertices"
+    );
+    let owner: Arc<Vec<u32>> = Arc::new(part.assignment.clone());
+    part.members()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, roots)| {
+            let hdg = Arc::new(build_hdg(&roots));
+            let mut local = Tensor::zeros(roots.len(), feats.cols());
+            let mut local_row = HashMap::with_capacity(roots.len());
+            for (i, &v) in roots.iter().enumerate() {
+                local.row_mut(i).copy_from_slice(feats.row(v as usize));
+                local_row.insert(v, i as u32);
+            }
+            Shard {
+                rank,
+                roots,
+                hdg,
+                feats: local,
+                owner: owner.clone(),
+                local_row,
+                graph: None,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexgraph_graph::csr::sample_graph;
+    use flexgraph_graph::partition::hash_partition;
+    use flexgraph_hdg::build::from_direct_neighbors;
+
+    #[test]
+    fn shards_partition_features_and_roots() {
+        let g = sample_graph();
+        let feats = Tensor::from_vec(9, 2, (0..18).map(|i| i as f32).collect());
+        let part = hash_partition(&g, 3);
+        let shards = make_shards(9, &feats, &part, |roots| {
+            from_direct_neighbors(&g, roots.to_vec())
+        });
+        assert_eq!(shards.len(), 3);
+        let total: usize = shards.iter().map(|s| s.roots.len()).sum();
+        assert_eq!(total, 9);
+        for s in &shards {
+            for (i, &v) in s.roots.iter().enumerate() {
+                assert_eq!(s.row_of(v), i as u32);
+                assert_eq!(s.feats.row(i), feats.row(v as usize));
+                assert_eq!(s.owner[v as usize] as usize, s.rank);
+            }
+            assert_eq!(s.hdg.num_roots(), s.roots.len());
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! Discrete-event simulation of distributed epochs.
+//!
+//! The threaded runtime ([`crate::trainer::distributed_epoch`]) executes
+//! workers as real threads and is what correctness tests exercise. For
+//! *timing curves* (Figures 13 and 15) it is only meaningful when every
+//! simulated worker gets its own physical core — on a single-core host,
+//! k threads time-slice one core and no scaling shape can appear in wall
+//! time.
+//!
+//! This module therefore runs each worker's compute *sequentially*,
+//! measuring every phase in isolation (no contention), and composes the
+//! epoch time analytically with the wire-cost model:
+//!
+//! * pipelined:   `T_send + max(T_local, arrival) + T_fold + T_upper`
+//! * unpipelined: `max(T_send, arrival) + T_aggregate_all + T_upper`
+//! * mini-batch:  per-round `T_prepare + wire(requests) + T_serve +
+//!   wire(responses) + T_aggregate`, summed (no overlap — the dataflow
+//!   semantics being reproduced)
+//!
+//! where `arrival = max over peers (T_send_peer + wire(bytes))`. The
+//! epoch time is the slowest worker's total. Identical inputs produce
+//! identical aggregation results to the threaded runtime (tests assert
+//! parity).
+
+use crate::pipeline::{build_leaf_sync, finalize_mean, SlotLevel};
+use crate::shard::Shard;
+use crate::trainer::{DistConfig, DistMode};
+use flexgraph_engine::hybrid::{aggregate_from_groups, aggregate_from_instances, AggrOp, Strategy};
+use flexgraph_engine::MemoryBudget;
+use flexgraph_graph::bfs::k_hop_closure;
+use flexgraph_graph::{Graph, VertexId};
+use flexgraph_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Result of a simulated epoch.
+pub struct SimReport {
+    /// Assembled `(num_vertices, d_out)` per-root results (identical to
+    /// the threaded runtime's output).
+    pub features: Tensor,
+    /// Modeled epoch time: slowest worker's compute + modeled wire.
+    pub epoch: Duration,
+    /// Sum of per-worker pure compute (diagnostics).
+    pub total_compute: Duration,
+    /// Total bytes that crossed the modeled wire.
+    pub comm_bytes: u64,
+    /// Total messages.
+    pub comm_messages: u64,
+}
+
+/// Message byte size of `rows` feature rows of width `d` under the
+/// codec framing.
+fn msg_bytes(rows: usize, d: usize) -> usize {
+    8 + rows * (4 + d * 4)
+}
+
+/// Runs a simulated distributed epoch (see module docs).
+pub fn simulated_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> SimReport {
+    match cfg.mode {
+        DistMode::FlexGraph { pipeline } => sim_flexgraph(graph, shards, cfg, pipeline),
+        DistMode::EulerLike { batch_size } => sim_minibatch(graph, shards, cfg, batch_size, None),
+        DistMode::DistDglLike { batch_size, hops } => {
+            sim_minibatch(graph, shards, cfg, batch_size, Some(hops))
+        }
+    }
+}
+
+struct WorkerPhases {
+    t_send: Duration,
+    t_local: Duration,
+    bytes_out_per_peer: Vec<usize>,
+    /// Partial rows destined to each peer: `(slot, row)` flat data.
+    partials_out: Vec<(usize, Vec<u32>, Vec<f32>)>,
+    /// Raw rows destined to each peer (unpipelined): vertex ids.
+    raws_out: Vec<(usize, Vec<u32>, Vec<f32>)>,
+    slots_local: Tensor,
+}
+
+fn sim_flexgraph(graph: &Graph, shards: &[Shard], cfg: &DistConfig, pipeline: bool) -> SimReport {
+    let k = shards.len();
+    let n = graph.num_vertices();
+    let syncs = build_leaf_sync(shards);
+    let model = &cfg.cost_model;
+
+    // Phase A+B per worker, sequentially and in isolation.
+    let mut phases: Vec<WorkerPhases> = Vec::with_capacity(k);
+    for (w, shard) in shards.iter().enumerate() {
+        let sync = &syncs[w];
+        let d = shard.feats.cols();
+
+        let t0 = Instant::now();
+        let mut partials_out = Vec::new();
+        let mut raws_out = Vec::new();
+        let mut bytes_out_per_peer = vec![0usize; k];
+        for p in 0..k {
+            if p == w || sync.serve[p].is_empty() {
+                continue;
+            }
+            // The pipelined sender picks the cheaper wire form per peer
+            // (see `LeafSync::partial_to`); the unpipelined baseline
+            // always ships raw rows.
+            if pipeline && sync.partial_to[p] {
+                let mut ids: Vec<u32> = Vec::new();
+                let mut flat: Vec<f32> = Vec::new();
+                for &(slot, row) in &sync.serve[p] {
+                    let src = shard.feats.row(row as usize);
+                    if ids.last() == Some(&slot) {
+                        let base = flat.len() - d;
+                        for (a, &x) in flat[base..].iter_mut().zip(src) {
+                            *a += x;
+                        }
+                    } else {
+                        ids.push(slot);
+                        flat.extend_from_slice(src);
+                    }
+                }
+                bytes_out_per_peer[p] = msg_bytes(ids.len(), d);
+                partials_out.push((p, ids, flat));
+            } else {
+                let mut rows: Vec<u32> = sync.serve[p].iter().map(|&(_, r)| r).collect();
+                rows.sort_unstable();
+                rows.dedup();
+                let mut ids = Vec::with_capacity(rows.len());
+                let mut flat = Vec::with_capacity(rows.len() * d);
+                for r in rows {
+                    ids.push(shard.roots[r as usize]);
+                    flat.extend_from_slice(shard.feats.row(r as usize));
+                }
+                bytes_out_per_peer[p] = msg_bytes(ids.len(), d);
+                raws_out.push((p, ids, flat));
+            }
+        }
+        let t_send = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut slots_local = Tensor::zeros(sync.num_slots, d);
+        for &(i, row) in &sync.local_edges {
+            let dst = slots_local.row_mut(i as usize);
+            for (o, &x) in dst.iter_mut().zip(shard.feats.row(row as usize)) {
+                *o += x;
+            }
+        }
+        let t_local = t1.elapsed();
+
+        phases.push(WorkerPhases {
+            t_send,
+            t_local,
+            bytes_out_per_peer,
+            partials_out,
+            raws_out,
+            slots_local,
+        });
+    }
+
+    // Phase C per worker: fold incoming data, upper levels, update.
+    let d_out_probe = shards[0].feats.cols();
+    let mut features = Tensor::zeros(n, output_dim(cfg, d_out_probe));
+    let mut per_worker_total = vec![Duration::ZERO; k];
+    let mut comm_bytes = 0u64;
+    let mut comm_messages = 0u64;
+
+    // Arrival time of worker w's inbound data: the last sender finishes
+    // encoding, then the receiver's NIC drains all inbound messages
+    // (inbound traffic serializes on one link).
+    let arrival: Vec<f64> = (0..k)
+        .map(|w| {
+            let mut last_send = 0.0f64;
+            let mut inbound_wire = 0.0f64;
+            for (p, ph) in phases.iter().enumerate() {
+                if p == w {
+                    continue;
+                }
+                let b = ph.bytes_out_per_peer[w];
+                if b > 0 {
+                    last_send = last_send.max(ph.t_send.as_secs_f64());
+                    inbound_wire += model.wire_us(b) / 1e6;
+                }
+            }
+            last_send + inbound_wire
+        })
+        .collect();
+    for ph in &phases {
+        for &b in &ph.bytes_out_per_peer {
+            if b > 0 {
+                comm_bytes += b as u64;
+                comm_messages += 1;
+            }
+        }
+    }
+
+    for w in 0..k {
+        let shard = &shards[w];
+        let sync = &syncs[w];
+
+        // Fold (timed in isolation). A worker may receive both forms —
+        // slot-keyed partials and vertex-keyed raw rows.
+        let t2 = Instant::now();
+        let mut slots = phases[w].slots_local.clone();
+        let d = shard.feats.cols();
+        if pipeline {
+            for (sender, ph) in phases.iter().enumerate() {
+                for (p, ids, flat) in &ph.partials_out {
+                    if *p != w {
+                        continue;
+                    }
+                    for (j, &slot) in ids.iter().enumerate() {
+                        let dst = slots.row_mut(slot as usize);
+                        for (o, &x) in dst.iter_mut().zip(&flat[j * d..(j + 1) * d]) {
+                            *o += x;
+                        }
+                    }
+                }
+                for (p, ids, flat) in &ph.raws_out {
+                    if *p != w {
+                        continue;
+                    }
+                    // Raw rows: dense vertex → offset table, resolved
+                    // through the per-owner remote-edge list.
+                    let mut offset_of = vec![u32::MAX; shard.owner.len()];
+                    for (j, &v) in ids.iter().enumerate() {
+                        offset_of[v as usize] = (j * d) as u32;
+                    }
+                    for &(slot, leaf) in &sync.remote_edges_by_owner[sender] {
+                        let off = offset_of[leaf as usize];
+                        debug_assert_ne!(off, u32::MAX);
+                        let dst = slots.row_mut(slot as usize);
+                        for (o, &x) in dst.iter_mut().zip(&flat[off as usize..off as usize + d]) {
+                            *o += x;
+                        }
+                    }
+                }
+            }
+        } else {
+            // Unpipelined: combine all raw tables first, then aggregate
+            // everything in one pass (dataflow semantics).
+            let mut offset_of = vec![u32::MAX; shard.owner.len()];
+            let mut combined: Vec<f32> = Vec::new();
+            for ph in &phases {
+                for (p, ids, flat) in &ph.raws_out {
+                    if *p != w {
+                        continue;
+                    }
+                    for (j, &v) in ids.iter().enumerate() {
+                        offset_of[v as usize] = (combined.len() + j * d) as u32;
+                    }
+                    combined.extend_from_slice(flat);
+                }
+            }
+            for &(slot, leaf) in &sync.remote_edges {
+                let off = offset_of[leaf as usize];
+                debug_assert_ne!(off, u32::MAX, "peer shipped every depended-on row");
+                let dst = slots.row_mut(slot as usize);
+                for (o, &x) in dst
+                    .iter_mut()
+                    .zip(&combined[off as usize..off as usize + d])
+                {
+                    *o += x;
+                }
+            }
+        }
+        let t_fold = t2.elapsed();
+
+        let t3 = Instant::now();
+        if cfg.leaf_op == AggrOp::Mean {
+            finalize_mean(&mut slots, &sync.slot_counts);
+        }
+        let upper = match sync.level {
+            SlotLevel::Instances => aggregate_from_instances(
+                &shard.hdg,
+                &slots,
+                &cfg.plan,
+                cfg.strategy,
+                &MemoryBudget::unlimited(),
+            ),
+            SlotLevel::Groups => aggregate_from_groups(
+                &shard.hdg,
+                slots,
+                &cfg.plan,
+                cfg.strategy,
+                &MemoryBudget::unlimited(),
+            ),
+        }
+        .expect("unbudgeted aggregation cannot fail");
+        let out = match &cfg.update_weight {
+            Some(wt) => upper.features.matmul(wt).relu(),
+            None => upper.features,
+        };
+        let t_upper = t3.elapsed();
+
+        for (i, &v) in shard.roots.iter().enumerate() {
+            features.row_mut(v as usize).copy_from_slice(out.row(i));
+        }
+
+        let ph = &phases[w];
+        let total = if pipeline {
+            // All pre-fold CPU work (encode + local aggregation) overlaps
+            // with the in-flight messages; the fold starts when both are
+            // done.
+            let cpu = ph.t_send.as_secs_f64() + ph.t_local.as_secs_f64();
+            Duration::from_secs_f64(cpu.max(arrival[w])) + t_fold + t_upper
+        } else {
+            // Dataflow: send, wait for everything, then aggregate.
+            Duration::from_secs_f64(ph.t_send.as_secs_f64().max(arrival[w]))
+                + ph.t_local
+                + t_fold
+                + t_upper
+        };
+        per_worker_total[w] = total;
+    }
+
+    let epoch = per_worker_total.iter().copied().max().unwrap_or_default();
+    let total_compute = per_worker_total.iter().sum();
+    SimReport {
+        features,
+        epoch,
+        total_compute,
+        comm_bytes,
+        comm_messages,
+    }
+}
+
+fn output_dim(cfg: &DistConfig, d: usize) -> usize {
+    cfg.update_weight.as_ref().map_or(d, Tensor::cols)
+}
+
+/// Mini-batch simulation: per-round request/response fetches, fully
+/// sequential (their dataflow has no overlap). `hops = None` fetches the
+/// leaf dependencies of the batch; `hops = Some(h)` the full h-hop
+/// closure.
+fn sim_minibatch(
+    graph: &Graph,
+    shards: &[Shard],
+    cfg: &DistConfig,
+    batch_size: usize,
+    hops: Option<usize>,
+) -> SimReport {
+    let k = shards.len();
+    let n = graph.num_vertices();
+    let syncs = build_leaf_sync(shards);
+    let model = &cfg.cost_model;
+    let d = shards[0].feats.cols();
+
+    let mut features = Tensor::zeros(n, output_dim(cfg, d));
+    let mut per_worker_total = vec![Duration::ZERO; k];
+    // Per-worker serving load (they answer peers' fetches too).
+    let mut serve_time = vec![Duration::ZERO; k];
+    let mut comm_bytes = 0u64;
+    let mut comm_messages = 0u64;
+
+    for (w, shard) in shards.iter().enumerate() {
+        let sync = &syncs[w];
+        let n_roots = shard.roots.len();
+        let rounds = n_roots.div_ceil(batch_size.max(1));
+        let mut slots = Tensor::zeros(sync.num_slots, d);
+
+        let t0 = Instant::now();
+        for &(i, row) in &sync.local_edges {
+            let dst = slots.row_mut(i as usize);
+            for (o, &x) in dst.iter_mut().zip(shard.feats.row(row as usize)) {
+                *o += x;
+            }
+        }
+        let mut total = t0.elapsed();
+
+        for round in 0..rounds {
+            let lo_root = round * batch_size;
+            let hi_root = ((round + 1) * batch_size).min(n_roots);
+
+            let t1 = Instant::now();
+            let mut needed: Vec<VertexId> = match hops {
+                None => {
+                    let lo_s = sync.root_slot_off[lo_root];
+                    let hi_s = sync.root_slot_off[hi_root];
+                    sync.remote_edges
+                        .iter()
+                        .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+                        .map(|&(_, v)| v)
+                        .collect()
+                }
+                Some(h) => {
+                    let batch: Vec<VertexId> = shard.roots[lo_root..hi_root].to_vec();
+                    k_hop_closure(graph, &batch, h)
+                        .into_iter()
+                        .filter(|&v| shard.owner[v as usize] as usize != w)
+                        .collect()
+                }
+            };
+            needed.sort_unstable();
+            needed.dedup();
+            let t_prepare = t1.elapsed();
+
+            // Fetch: request ids out, feature rows back, no overlap.
+            let mut by_owner: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+            for v in &needed {
+                by_owner[shard.owner[*v as usize] as usize].push(*v);
+            }
+            let mut wire = 0.0f64;
+            let t2 = Instant::now();
+            let mut responses: HashMap<u32, usize> = HashMap::with_capacity(needed.len());
+            let mut resp_flat: Vec<f32> = Vec::with_capacity(needed.len() * d);
+            for (p, ids) in by_owner.iter().enumerate() {
+                if p == w || ids.is_empty() {
+                    continue;
+                }
+                let req_b = msg_bytes(ids.len(), 0);
+                let resp_b = msg_bytes(ids.len(), d);
+                comm_bytes += (req_b + resp_b) as u64;
+                comm_messages += 2;
+                // Round trip: request wire + response wire (not
+                // overlapped across owners in the baseline dataflow).
+                wire = wire.max(model.wire_us(req_b) / 1e6 + model.wire_us(resp_b) / 1e6);
+                // Owner-side serving work (gather rows) — attributed to
+                // the owner's clock.
+                let ts = Instant::now();
+                for &v in ids {
+                    let r = shards[p].row_of(v);
+                    responses.insert(v, resp_flat.len());
+                    resp_flat.extend_from_slice(shards[p].feats.row(r as usize));
+                }
+                serve_time[p] += ts.elapsed();
+            }
+            let t_fetch_cpu = t2.elapsed();
+
+            // Aggregate the batch's remote edges (materializing sparse).
+            let t3 = Instant::now();
+            let lo_s = sync.root_slot_off[lo_root];
+            let hi_s = sync.root_slot_off[hi_root];
+            for &(i, leaf) in sync
+                .remote_edges
+                .iter()
+                .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+            {
+                if let Some(&off) = responses.get(&leaf) {
+                    let dst = slots.row_mut(i as usize);
+                    for (o, &x) in dst.iter_mut().zip(&resp_flat[off..off + d]) {
+                        *o += x;
+                    }
+                }
+            }
+            let t_agg = t3.elapsed();
+
+            total += t_prepare + t_fetch_cpu + Duration::from_secs_f64(wire) + t_agg;
+        }
+
+        let t4 = Instant::now();
+        if cfg.leaf_op == AggrOp::Mean {
+            finalize_mean(&mut slots, &sync.slot_counts);
+        }
+        let upper = match sync.level {
+            SlotLevel::Instances => aggregate_from_instances(
+                &shard.hdg,
+                &slots,
+                &cfg.plan,
+                Strategy::Sa,
+                &MemoryBudget::unlimited(),
+            ),
+            SlotLevel::Groups => aggregate_from_groups(
+                &shard.hdg,
+                slots,
+                &cfg.plan,
+                Strategy::Sa,
+                &MemoryBudget::unlimited(),
+            ),
+        }
+        .expect("unbudgeted aggregation cannot fail");
+        let out = match &cfg.update_weight {
+            Some(wt) => upper.features.matmul(wt).relu(),
+            None => upper.features,
+        };
+        total += t4.elapsed();
+
+        for (i, &v) in shard.roots.iter().enumerate() {
+            features.row_mut(v as usize).copy_from_slice(out.row(i));
+        }
+        per_worker_total[w] = total;
+    }
+
+    for (t, s) in per_worker_total.iter_mut().zip(&serve_time) {
+        *t += *s;
+    }
+    let epoch = per_worker_total.iter().copied().max().unwrap_or_default();
+    let total_compute = per_worker_total.iter().sum();
+    SimReport {
+        features,
+        epoch,
+        total_compute,
+        comm_bytes,
+        comm_messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::make_shards;
+    use crate::trainer::distributed_epoch;
+    use flexgraph_comm::CostModel;
+    use flexgraph_engine::hybrid::AggrPlan;
+    use flexgraph_graph::gen::community;
+    use flexgraph_graph::partition::hash_partition;
+    use flexgraph_hdg::build::from_direct_neighbors;
+
+    fn setup(k: usize) -> (Graph, Tensor, Vec<Shard>) {
+        let ds = community(150, 3, 5, 2, 6, 77);
+        let part = hash_partition(&ds.graph, k);
+        let mut shards = make_shards(150, &ds.features, &part, |roots| {
+            from_direct_neighbors(&ds.graph, roots.to_vec())
+        });
+        let g = std::sync::Arc::new(ds.graph.clone());
+        for s in &mut shards {
+            s.graph = Some(g.clone());
+        }
+        (ds.graph, ds.features, shards)
+    }
+
+    #[test]
+    fn simulation_matches_threaded_runtime_results() {
+        let (graph, _f, shards) = setup(3);
+        for mode in [
+            DistMode::FlexGraph { pipeline: true },
+            DistMode::FlexGraph { pipeline: false },
+            DistMode::EulerLike { batch_size: 16 },
+            DistMode::DistDglLike {
+                batch_size: 16,
+                hops: 2,
+            },
+        ] {
+            let cfg = DistConfig {
+                mode,
+                ..DistConfig::default()
+            };
+            let sim = simulated_epoch(&graph, &shards, &cfg);
+            let real = distributed_epoch(&graph, &shards, &cfg);
+            assert!(
+                sim.features.max_abs_diff(&real.features) < 1e-4,
+                "{mode:?}: simulation must compute the same features"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_threaded_runtime_with_mean_and_update() {
+        let (graph, _f, shards) = setup(2);
+        let cfg = DistConfig {
+            mode: DistMode::FlexGraph { pipeline: true },
+            leaf_op: AggrOp::Mean,
+            plan: AggrPlan::flat(AggrOp::Sum),
+            update_weight: Some(Tensor::eye(6).scale(0.5)),
+            ..DistConfig::default()
+        };
+        let sim = simulated_epoch(&graph, &shards, &cfg);
+        let real = distributed_epoch(&graph, &shards, &cfg);
+        assert!(sim.features.max_abs_diff(&real.features) < 1e-4);
+    }
+
+    #[test]
+    fn pipelined_model_is_never_slower_than_unpipelined() {
+        let (graph, _f, shards) = setup(4);
+        let model = CostModel {
+            alpha_us: 500.0,
+            bytes_per_us: 100.0,
+            simulate_delay: false,
+        };
+        let piped = DistConfig {
+            mode: DistMode::FlexGraph { pipeline: true },
+            cost_model: model,
+            ..DistConfig::default()
+        };
+        let raw = DistConfig {
+            mode: DistMode::FlexGraph { pipeline: false },
+            cost_model: model,
+            ..DistConfig::default()
+        };
+        let tp = simulated_epoch(&graph, &shards, &piped).epoch;
+        let tr = simulated_epoch(&graph, &shards, &raw).epoch;
+        assert!(
+            tp <= tr + Duration::from_micros(200),
+            "pipelined {tp:?} must not exceed unpipelined {tr:?}"
+        );
+    }
+
+    #[test]
+    fn single_worker_has_no_comm() {
+        let (graph, _f, shards) = setup(1);
+        let cfg = DistConfig::default();
+        let sim = simulated_epoch(&graph, &shards, &cfg);
+        assert_eq!(sim.comm_bytes, 0);
+        assert_eq!(sim.comm_messages, 0);
+    }
+
+    #[test]
+    fn minibatch_closure_fetch_moves_more_bytes() {
+        let (graph, _f, shards) = setup(4);
+        let euler = DistConfig {
+            mode: DistMode::EulerLike { batch_size: 10 },
+            ..DistConfig::default()
+        };
+        let distd = DistConfig {
+            mode: DistMode::DistDglLike {
+                batch_size: 10,
+                hops: 2,
+            },
+            ..DistConfig::default()
+        };
+        let be = simulated_epoch(&graph, &shards, &euler).comm_bytes;
+        let bd = simulated_epoch(&graph, &shards, &distd).comm_bytes;
+        assert!(bd > be, "closure fetch {bd} must exceed dep fetch {be}");
+    }
+}

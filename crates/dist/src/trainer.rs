@@ -1,0 +1,494 @@
+//! Distributed aggregation epochs over the simulated cluster.
+//!
+//! [`distributed_epoch`] runs one epoch of the *Aggregation (+ Update)*
+//! work across `k` worker threads connected by the comm fabric, under one
+//! of three execution modes:
+//!
+//! * [`DistMode::FlexGraph`] — leaf-level partial aggregation (pipelined
+//!   or not) followed by local hybrid aggregation of the upper levels,
+//! * [`DistMode::EulerLike`] — mini-batch rounds that fetch the raw
+//!   feature rows of each batch's *selected* neighbors (Euler's sampling
+//!   service), then aggregate with materializing sparse ops,
+//! * [`DistMode::DistDglLike`] — mini-batch rounds that fetch the raw
+//!   features of each batch's full *k-hop closure* (DistDGL's
+//!   neighborhood expansion), then aggregate with sparse ops.
+//!
+//! The report carries wall time (max across workers), fabric traffic and
+//! the assembled per-root features — everything Figures 13/15 plot.
+
+use crate::pipeline::{
+    build_leaf_sync, finalize_mean, leaf_level_pipelined, leaf_level_unpipelined, LeafSync,
+    SlotLevel,
+};
+use crate::shard::Shard;
+use flexgraph_comm::{decode_rows, encode_rows, CostModel, Fabric, WorkerComm};
+use flexgraph_engine::hybrid::{
+    aggregate_from_groups, aggregate_from_instances, AggrOp, AggrPlan, Strategy,
+};
+use flexgraph_engine::MemoryBudget;
+use flexgraph_graph::bfs::k_hop_closure;
+use flexgraph_graph::{Graph, VertexId};
+use flexgraph_tensor::scatter::scatter_add;
+use flexgraph_tensor::Tensor;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Distributed execution mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistMode {
+    /// FlexGraph: partial aggregation + hybrid upper levels.
+    FlexGraph {
+        /// Overlap partial aggregation with communication (§7.7).
+        pipeline: bool,
+    },
+    /// Euler-style mini-batches fetching selected-neighbor rows.
+    EulerLike {
+        /// Roots per batch.
+        batch_size: usize,
+    },
+    /// DistDGL-style mini-batches fetching full k-hop closures.
+    DistDglLike {
+        /// Roots per batch.
+        batch_size: usize,
+        /// Closure radius (= model layers).
+        hops: usize,
+    },
+}
+
+/// Epoch configuration.
+#[derive(Clone)]
+pub struct DistConfig {
+    /// Execution mode.
+    pub mode: DistMode,
+    /// Leaf-level reduction (must be commutative: Sum or Mean).
+    pub leaf_op: AggrOp,
+    /// Upper-level aggregation plan.
+    pub plan: AggrPlan,
+    /// Upper-level strategy (FlexGraph mode only).
+    pub strategy: Strategy,
+    /// Wire cost model.
+    pub cost_model: CostModel,
+    /// Optional Update-stage weight: `out = relu(agg · w)`.
+    pub update_weight: Option<Tensor>,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        Self {
+            mode: DistMode::FlexGraph { pipeline: true },
+            leaf_op: AggrOp::Sum,
+            plan: AggrPlan::flat(AggrOp::Sum),
+            strategy: Strategy::Ha,
+            cost_model: CostModel::accounting_only(),
+            update_weight: None,
+        }
+    }
+}
+
+/// Measurements of one distributed epoch.
+pub struct EpochReport {
+    /// Assembled `(num_vertices, d_out)` per-root results.
+    pub features: Tensor,
+    /// Slowest worker's epoch wall time.
+    pub wall: Duration,
+    /// Total payload bytes over the fabric.
+    pub comm_bytes: u64,
+    /// Total messages over the fabric.
+    pub comm_messages: u64,
+    /// Modeled wire time summed over messages, microseconds.
+    pub modeled_comm_us: f64,
+}
+
+/// Runs one distributed epoch over the shards. `graph` is the replicated
+/// structure (used by the DistDGL-like closure expansion); `num_vertices`
+/// must equal its vertex count.
+pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> EpochReport {
+    let k = shards.len();
+    let n = graph.num_vertices();
+    let sync_plans = build_leaf_sync(shards);
+    let (fabric, comms) = Fabric::new(k, cfg.cost_model);
+
+    let results: Vec<(usize, Tensor, Duration)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut comm| {
+                let shard = &shards[comm.rank()];
+                let sync = &sync_plans[comm.rank()];
+                let cfg = cfg.clone();
+                s.spawn(move |_| {
+                    comm.barrier();
+                    let t0 = Instant::now();
+                    let out = match cfg.mode {
+                        DistMode::FlexGraph { pipeline } => {
+                            flexgraph_worker_epoch(shard, sync, &mut comm, &cfg, pipeline)
+                        }
+                        DistMode::EulerLike { batch_size } => {
+                            minibatch_worker_epoch(shard, sync, &mut comm, &cfg, batch_size, None)
+                        }
+                        DistMode::DistDglLike { batch_size, hops } => minibatch_worker_epoch(
+                            shard,
+                            sync,
+                            &mut comm,
+                            &cfg,
+                            batch_size,
+                            Some(hops),
+                        ),
+                    };
+                    let elapsed = t0.elapsed();
+                    comm.barrier();
+                    (comm.rank(), out, elapsed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker panicked");
+
+    // Assemble per-root outputs into the global order.
+    let d_out = results[0].1.cols();
+    let mut features = Tensor::zeros(n, d_out);
+    let mut wall = Duration::ZERO;
+    for (rank, out, elapsed) in results {
+        wall = wall.max(elapsed);
+        for (i, &v) in shards[rank].roots.iter().enumerate() {
+            features.row_mut(v as usize).copy_from_slice(out.row(i));
+        }
+    }
+
+    EpochReport {
+        features,
+        wall,
+        comm_bytes: fabric.stats().bytes(),
+        comm_messages: fabric.stats().messages(),
+        modeled_comm_us: fabric.stats().modeled_us(),
+    }
+}
+
+fn apply_update(agg: Tensor, cfg: &DistConfig) -> Tensor {
+    match &cfg.update_weight {
+        Some(w) => agg.matmul(w).relu(),
+        None => agg,
+    }
+}
+
+/// Completes the levels above the slots, dispatching on the slot level.
+fn finish_upper_levels(
+    shard: &Shard,
+    sync: &LeafSync,
+    mut slots: Tensor,
+    leaf_op: AggrOp,
+    plan: &AggrPlan,
+    strategy: Strategy,
+) -> Tensor {
+    if leaf_op == AggrOp::Mean {
+        finalize_mean(&mut slots, &sync.slot_counts);
+    }
+    let upper = match sync.level {
+        SlotLevel::Instances => aggregate_from_instances(
+            &shard.hdg,
+            &slots,
+            plan,
+            strategy,
+            &MemoryBudget::unlimited(),
+        ),
+        SlotLevel::Groups => aggregate_from_groups(
+            &shard.hdg,
+            slots,
+            plan,
+            strategy,
+            &MemoryBudget::unlimited(),
+        ),
+    }
+    .expect("unbudgeted upper-level aggregation cannot fail");
+    upper.features
+}
+
+fn flexgraph_worker_epoch(
+    shard: &Shard,
+    sync: &LeafSync,
+    comm: &mut WorkerComm,
+    cfg: &DistConfig,
+    pipeline: bool,
+) -> Tensor {
+    let slots = if pipeline {
+        leaf_level_pipelined(sync, &shard.feats, comm, 1, shard)
+    } else {
+        leaf_level_unpipelined(sync, &shard.feats, comm, 1, shard)
+    };
+    let out = finish_upper_levels(shard, sync, slots, cfg.leaf_op, &cfg.plan, cfg.strategy);
+    apply_update(out, cfg)
+}
+
+/// The shared mini-batch worker loop. `hops = None` fetches only the
+/// leaf dependencies of each batch (Euler-like); `hops = Some(h)` fetches
+/// the batch's full h-hop closure (DistDGL-like).
+fn minibatch_worker_epoch(
+    shard: &Shard,
+    sync: &LeafSync,
+    comm: &mut WorkerComm,
+    cfg: &DistConfig,
+    batch_size: usize,
+    hops: Option<usize>,
+) -> Tensor {
+    let k = comm.num_workers();
+    let me = comm.rank();
+    let d = shard.feats.cols();
+    let n_roots = shard.roots.len();
+
+    // All workers must run the same number of request/response rounds.
+    let my_rounds = n_roots.div_ceil(batch_size.max(1));
+    let rounds = sync_round_count(comm, my_rounds);
+
+    let mut slots = Tensor::zeros(sync.num_slots, d);
+    // Local leaf edges can be aggregated up front (they need no fetch).
+    for &(i, row) in &sync.local_edges {
+        let dst = slots.row_mut(i as usize);
+        for (o, &x) in dst.iter_mut().zip(shard.feats.row(row as usize)) {
+            *o += x;
+        }
+    }
+
+    for round in 0..rounds {
+        let lo_root = round * batch_size;
+        let hi_root = ((round + 1) * batch_size).min(n_roots);
+
+        // Which remote vertices does this batch need?
+        let mut needed: Vec<VertexId> = if lo_root < hi_root {
+            match hops {
+                None => {
+                    // Slot range of the batch roots.
+                    let lo_s = sync.root_slot_off[lo_root];
+                    let hi_s = sync.root_slot_off[hi_root];
+                    sync.remote_edges
+                        .iter()
+                        .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+                        .map(|&(_, v)| v)
+                        .collect()
+                }
+                Some(h) => {
+                    let batch: Vec<VertexId> = shard.roots[lo_root..hi_root].to_vec();
+                    // Full closure expansion — the DistDGL blow-up.
+                    let graph = shard_graph(shard);
+                    k_hop_closure(graph, &batch, h)
+                        .into_iter()
+                        .filter(|&v| shard.owner[v as usize] as usize != me)
+                        .collect()
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        needed.sort_unstable();
+        needed.dedup();
+
+        // Round-trip: send per-owner request lists, answer peers, collect
+        // responses — all *before* aggregating (no overlap).
+        let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for v in needed {
+            by_owner[shard.owner[v as usize] as usize].push(v);
+        }
+        let req_tag = 10 + round as u32 * 2;
+        let resp_tag = req_tag + 1;
+        for (p, ids) in by_owner.iter().enumerate() {
+            if p == me {
+                continue;
+            }
+            let rows: Vec<(u32, &[f32])> = ids.iter().map(|&v| (v, [].as_slice())).collect();
+            comm.send(p, req_tag, encode_rows(0, &rows));
+        }
+        // Serve incoming requests.
+        let mut responses: HashMap<u32, Vec<f32>> = HashMap::new();
+        for _ in 0..k - 1 {
+            let msg = comm.recv_tag(req_tag);
+            let (_, ids) = decode_rows(msg.payload);
+            let rows: Vec<(u32, Vec<f32>)> = ids
+                .into_iter()
+                .map(|(v, _)| (v, shard.feats.row(shard.row_of(v) as usize).to_vec()))
+                .collect();
+            let refs: Vec<(u32, &[f32])> = rows.iter().map(|(v, r)| (*v, r.as_slice())).collect();
+            comm.send(msg.from, resp_tag, encode_rows(d, &refs));
+        }
+        for _ in 0..k - 1 {
+            let msg = comm.recv_tag(resp_tag);
+            let (_, rows) = decode_rows(msg.payload);
+            for (v, row) in rows {
+                responses.insert(v, row);
+            }
+        }
+
+        // Sparse (materializing) aggregation of the batch's remote edges.
+        if lo_root < hi_root {
+            let lo_s = sync.root_slot_off[lo_root];
+            let hi_s = sync.root_slot_off[hi_root];
+            let edges: Vec<(u32, VertexId)> = sync
+                .remote_edges
+                .iter()
+                .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+                .copied()
+                .collect();
+            if !edges.is_empty() {
+                // Materialize messages (one row per edge), then scatter —
+                // the baseline execution shape.
+                let mut messages = Tensor::zeros(edges.len(), d);
+                let mut dst = Vec::with_capacity(edges.len());
+                for (e, &(i, v)) in edges.iter().enumerate() {
+                    let row = responses
+                        .get(&v)
+                        .expect("closure fetch covers every leaf dependency");
+                    messages.row_mut(e).copy_from_slice(row);
+                    dst.push(i);
+                }
+                let partial = scatter_add(&messages, &dst, sync.num_slots);
+                slots.add_assign(&partial);
+            }
+        }
+    }
+
+    // Upper levels with sparse ops (the baseline has no hybrid executor).
+    let out = finish_upper_levels(shard, sync, slots, cfg.leaf_op, &cfg.plan, Strategy::Sa);
+    apply_update(out, cfg)
+}
+
+/// Agrees on `max(rounds)` across workers via a tiny all-to-all.
+fn sync_round_count(comm: &mut WorkerComm, mine: usize) -> usize {
+    let k = comm.num_workers();
+    let payload = encode_rows(0, &[(mine as u32, [].as_slice())]);
+    let outgoing = vec![payload; k];
+    let got = comm.exchange(5, outgoing);
+    let mut max = mine;
+    for (_, bytes) in got {
+        let (_, rows) = decode_rows(bytes);
+        max = max.max(rows[0].0 as usize);
+    }
+    max
+}
+
+/// The replicated graph reference carried per shard.
+///
+/// Shards do not own the graph (it is replicated, read-only); workers
+/// reach it through this accessor, which the DistDGL-like expansion
+/// needs. Implemented as a thread-local pass-through set by
+/// [`distributed_epoch`].
+fn shard_graph(shard: &Shard) -> &Graph {
+    // The graph is stored alongside the shard by `make_shards_with_graph`;
+    // see `Shard::graph`.
+    shard
+        .graph
+        .as_deref()
+        .expect("DistDGL-like mode needs shards built with a graph reference")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::make_shards;
+    use flexgraph_graph::gen::community;
+    use flexgraph_graph::partition::hash_partition;
+    use flexgraph_hdg::build::from_direct_neighbors;
+    use flexgraph_tensor::fusion::{segment_reduce, Reduce};
+
+    fn setup(k: usize) -> (flexgraph_graph::Graph, Tensor, Vec<Shard>) {
+        let ds = community(120, 4, 5, 2, 6, 42);
+        let part = hash_partition(&ds.graph, k);
+        let mut shards = make_shards(120, &ds.features, &part, |roots| {
+            from_direct_neighbors(&ds.graph, roots.to_vec())
+        });
+        let g = std::sync::Arc::new(ds.graph.clone());
+        for s in &mut shards {
+            s.graph = Some(g.clone());
+        }
+        (ds.graph, ds.features, shards)
+    }
+
+    #[test]
+    fn all_modes_match_single_machine_reference() {
+        let (graph, feats, shards) = setup(3);
+        let reference = segment_reduce(&feats, graph.in_offsets(), graph.in_sources(), Reduce::Sum);
+        for mode in [
+            DistMode::FlexGraph { pipeline: true },
+            DistMode::FlexGraph { pipeline: false },
+            DistMode::EulerLike { batch_size: 16 },
+            DistMode::DistDglLike {
+                batch_size: 16,
+                hops: 2,
+            },
+        ] {
+            let cfg = DistConfig {
+                mode,
+                ..DistConfig::default()
+            };
+            let rep = distributed_epoch(&graph, &shards, &cfg);
+            assert!(
+                rep.features.max_abs_diff(&reference) < 1e-3,
+                "{mode:?} diverges from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn distdgl_fetches_more_bytes_than_euler_than_flexgraph() {
+        let (graph, _feats, shards) = setup(4);
+        let bytes = |mode| {
+            let cfg = DistConfig {
+                mode,
+                ..DistConfig::default()
+            };
+            distributed_epoch(&graph, &shards, &cfg).comm_bytes
+        };
+        let flex = bytes(DistMode::FlexGraph { pipeline: true });
+        let euler = bytes(DistMode::EulerLike { batch_size: 10 });
+        let distdgl = bytes(DistMode::DistDglLike {
+            batch_size: 10,
+            hops: 2,
+        });
+        assert!(
+            flex < euler && euler < distdgl,
+            "traffic ordering: flex {flex} < euler {euler} < distdgl {distdgl}"
+        );
+    }
+
+    #[test]
+    fn update_stage_applies_weight() {
+        let (graph, _f, shards) = setup(2);
+        let w = Tensor::eye(6).scale(-1.0); // ReLU(−agg) — zero where agg > 0.
+        let cfg = DistConfig {
+            update_weight: Some(w),
+            ..DistConfig::default()
+        };
+        let rep = distributed_epoch(&graph, &shards, &cfg);
+        assert!(rep.features.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn mean_leaf_op_is_consistent_across_modes() {
+        let (graph, feats, shards) = setup(2);
+        let reference =
+            segment_reduce(&feats, graph.in_offsets(), graph.in_sources(), Reduce::Mean);
+        for mode in [
+            DistMode::FlexGraph { pipeline: true },
+            DistMode::EulerLike { batch_size: 32 },
+        ] {
+            let cfg = DistConfig {
+                mode,
+                leaf_op: AggrOp::Mean,
+                plan: AggrPlan::flat(AggrOp::Sum),
+                ..DistConfig::default()
+            };
+            let rep = distributed_epoch(&graph, &shards, &cfg);
+            assert!(
+                rep.features.max_abs_diff(&reference) < 1e-3,
+                "{mode:?} mean mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_gracefully() {
+        let (graph, feats, shards) = setup(1);
+        let cfg = DistConfig::default();
+        let rep = distributed_epoch(&graph, &shards, &cfg);
+        let reference = segment_reduce(&feats, graph.in_offsets(), graph.in_sources(), Reduce::Sum);
+        assert!(rep.features.max_abs_diff(&reference) < 1e-3);
+        assert_eq!(rep.comm_bytes, 0, "no traffic with one worker");
+    }
+}

@@ -1,0 +1,185 @@
+//! Breadth-first traversal utilities.
+//!
+//! Used in three places: the ADB balancer's migration-candidate selection
+//! walks partitions in BFS order (paper §5), JK-Net's "neighbors" are
+//! exact-hop-distance shells (§3.2), and the mini-batch baseline expands
+//! full k-hop neighborhoods (§7.1).
+
+use crate::csr::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Vertices in BFS order from `seed`, restricted to `allowed` (when
+/// given). Unreachable vertices are omitted.
+pub fn bfs_order(g: &Graph, seed: VertexId, allowed: Option<&[bool]>) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let ok = |v: VertexId| allowed.is_none_or(|a| a[v as usize]);
+    if !ok(seed) {
+        return Vec::new();
+    }
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut q = VecDeque::new();
+    seen[seed as usize] = true;
+    q.push_back(seed);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        for &u in g.out_neighbors(v) {
+            if !seen[u as usize] && ok(u) {
+                seen[u as usize] = true;
+                q.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Hop distance from `seed` to every vertex (`u32::MAX` = unreachable).
+pub fn hop_distances(g: &Graph, seed: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    dist[seed as usize] = 0;
+    let mut q = VecDeque::new();
+    q.push_back(seed);
+    while let Some(v) = q.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.out_neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The vertices at exactly hop distance `1..=k` from `seed`, one shell per
+/// hop (JK-Net's k "neighbors").
+pub fn hop_shells(g: &Graph, seed: VertexId, k: usize) -> Vec<Vec<VertexId>> {
+    let dist = hop_distances(g, seed);
+    let mut shells = vec![Vec::new(); k];
+    for (v, &d) in dist.iter().enumerate() {
+        if d >= 1 && (d as usize) <= k {
+            shells[d as usize - 1].push(v as VertexId);
+        }
+    }
+    shells
+}
+
+/// All vertices within `k` hops of any seed (including the seeds), the
+/// mini-batch expansion that explodes on dense graphs (paper §7.1).
+pub fn k_hop_closure(g: &Graph, seeds: &[VertexId], k: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut q = VecDeque::new();
+    for &s in seeds {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            q.push_back(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(v) = q.pop_front() {
+        out.push(v);
+        let d = dist[v as usize];
+        if d as usize >= k {
+            continue;
+        }
+        for &u in g.in_neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::{graph_from_edges, sample_graph};
+
+    fn path_graph() -> Graph {
+        graph_from_edges(
+            5,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn bfs_order_visits_reachable_once() {
+        let g = path_graph();
+        let order = bfs_order(&g, 2, None);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], 2);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "no vertex repeats");
+    }
+
+    #[test]
+    fn bfs_respects_allowed_mask() {
+        let g = path_graph();
+        let allowed = vec![true, true, false, true, true];
+        let order = bfs_order(&g, 0, Some(&allowed));
+        assert_eq!(order, vec![0, 1], "blocked vertex 2 cuts the path");
+    }
+
+    #[test]
+    fn bfs_from_disallowed_seed_is_empty() {
+        let g = path_graph();
+        let allowed = vec![false; 5];
+        assert!(bfs_order(&g, 0, Some(&allowed)).is_empty());
+    }
+
+    #[test]
+    fn hop_distances_on_path() {
+        let g = path_graph();
+        assert_eq!(hop_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn hop_shells_partition_reachable_vertices() {
+        let g = sample_graph();
+        let shells = hop_shells(&g, 0, 3);
+        // Shell 1 = N(A) = {D,E,F,H}.
+        let mut s1 = shells[0].clone();
+        s1.sort_unstable();
+        assert_eq!(s1, vec![3, 4, 5, 7]);
+        // Shells are disjoint.
+        let mut all: Vec<_> = shells.iter().flatten().copied().collect();
+        let len = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), len);
+    }
+
+    #[test]
+    fn k_hop_closure_grows_with_k() {
+        let g = sample_graph();
+        let c1 = k_hop_closure(&g, &[0], 1);
+        let c2 = k_hop_closure(&g, &[0], 2);
+        assert!(c1.len() < c2.len());
+        assert!(c1.contains(&0));
+        assert_eq!(c1.len(), 5, "A plus its four 1-hop neighbors");
+    }
+
+    #[test]
+    fn k_hop_closure_merges_seed_frontiers() {
+        let g = path_graph();
+        let c = k_hop_closure(&g, &[0, 4], 1);
+        let mut c = c;
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1, 3, 4]);
+    }
+}

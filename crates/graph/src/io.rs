@@ -1,0 +1,263 @@
+//! Dataset persistence — the storage layer of the paper's architecture
+//! (Figure 12: "manages large graph data and vertex feature data in
+//! DFS").
+//!
+//! The format is a single versioned little-endian binary file holding
+//! the edge list, optional vertex types, features and labels. Loading
+//! rebuilds the CSR/CSC graph; a round trip is bit-exact.
+
+use crate::csr::GraphBuilder;
+use crate::gen::Dataset;
+use flexgraph_tensor::Tensor;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x4647_4453; // "FGDS"
+const VERSION: u32 = 1;
+
+/// Errors from dataset load/store.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Not a FlexGraph dataset file.
+    BadMagic,
+    /// Incompatible format version.
+    BadVersion(u32),
+    /// File ended early or fields disagree.
+    Corrupt(&'static str),
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::BadMagic => write!(f, "not a FlexGraph dataset file"),
+            Self::BadVersion(v) => write!(f, "unsupported dataset version {v}"),
+            Self::Corrupt(what) => write!(f, "corrupt dataset file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a dataset into the binary format.
+pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, MAGIC);
+    put_u32(&mut out, VERSION);
+    // Name.
+    put_u32(&mut out, ds.name.len() as u32);
+    out.extend_from_slice(ds.name.as_bytes());
+    // Graph.
+    put_u64(&mut out, ds.graph.num_vertices() as u64);
+    put_u64(&mut out, ds.graph.num_edges() as u64);
+    for (s, d) in ds.graph.edges() {
+        put_u32(&mut out, s);
+        put_u32(&mut out, d);
+    }
+    // Types (0 = absent).
+    match &ds.types {
+        Some(t) => {
+            put_u32(&mut out, 1);
+            out.extend_from_slice(t);
+        }
+        None => put_u32(&mut out, 0),
+    }
+    // Features.
+    put_u32(&mut out, ds.features.rows() as u32);
+    put_u32(&mut out, ds.features.cols() as u32);
+    for &x in ds.features.data() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    // Labels.
+    put_u32(&mut out, ds.num_classes as u32);
+    for &l in &ds.labels {
+        put_u32(&mut out, l as u32);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IoError> {
+        let s = self
+            .buf
+            .get(self.off..self.off + n)
+            .ok_or(IoError::Corrupt("truncated"))?;
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, IoError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, IoError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Deserializes a dataset from the binary format.
+pub fn from_bytes(buf: &[u8]) -> Result<Dataset, IoError> {
+    let mut r = Reader { buf, off: 0 };
+    if r.u32()? != MAGIC {
+        return Err(IoError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let name_len = r.u32()? as usize;
+    let name = String::from_utf8(r.take(name_len)?.to_vec())
+        .map_err(|_| IoError::Corrupt("name is not utf-8"))?;
+    let n = r.u64()? as usize;
+    let m = r.u64()? as usize;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let s = r.u32()?;
+        let d = r.u32()?;
+        if s as usize >= n || d as usize >= n {
+            return Err(IoError::Corrupt("edge endpoint out of range"));
+        }
+        b.add_edge(s, d);
+    }
+    let graph = b.build();
+    let types = if r.u32()? == 1 {
+        Some(r.take(n)?.to_vec())
+    } else {
+        None
+    };
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    if rows != n {
+        return Err(IoError::Corrupt("feature row count mismatch"));
+    }
+    let raw = r.take(rows * cols * 4)?;
+    let data: Vec<f32> = raw
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let features = Tensor::from_vec(rows, cols, data);
+    let num_classes = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = r.u32()? as usize;
+        if l >= num_classes {
+            return Err(IoError::Corrupt("label out of range"));
+        }
+        labels.push(l);
+    }
+    Ok(Dataset {
+        name,
+        graph,
+        types,
+        features,
+        labels,
+        num_classes,
+    })
+}
+
+/// Writes a dataset to `path`.
+pub fn save(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&to_bytes(ds))?;
+    Ok(())
+}
+
+/// Reads a dataset from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{community, hetero_imdb};
+
+    #[test]
+    fn homogeneous_round_trip_is_exact() {
+        let ds = community(120, 3, 5, 1, 8, 71);
+        let back = from_bytes(&to_bytes(&ds)).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.graph.num_vertices(), ds.graph.num_vertices());
+        assert_eq!(back.graph.num_edges(), ds.graph.num_edges());
+        assert_eq!(back.features, ds.features);
+        assert_eq!(back.labels, ds.labels);
+        assert!(back.types.is_none());
+        // Adjacency identical.
+        for v in 0..120u32 {
+            assert_eq!(back.graph.out_neighbors(v), ds.graph.out_neighbors(v));
+            assert_eq!(back.graph.in_neighbors(v), ds.graph.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn heterogeneous_round_trip_keeps_types() {
+        let ds = hetero_imdb(60, 2, 2, 4, 72);
+        let back = from_bytes(&to_bytes(&ds)).unwrap();
+        assert_eq!(back.types, ds.types);
+        assert_eq!(back.typed().type_histogram(), ds.typed().type_histogram());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = community(40, 2, 3, 1, 4, 73);
+        let path = std::env::temp_dir().join("flexgraph_io_test.fgds");
+        save(&ds, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.features, ds.features);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        let ds = community(20, 2, 3, 1, 4, 74);
+        let bytes = to_bytes(&ds);
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(from_bytes(&bad), Err(IoError::BadMagic)));
+        // Truncation.
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 3]),
+            Err(IoError::Corrupt(_))
+        ));
+        // Bad version.
+        let mut badv = bytes.clone();
+        badv[4] = 99;
+        assert!(matches!(from_bytes(&badv), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn label_out_of_range_rejected() {
+        let mut ds = community(20, 2, 3, 1, 4, 75);
+        ds.labels[3] = 7; // num_classes = 2.
+        let bytes = to_bytes(&ds);
+        assert!(matches!(from_bytes(&bytes), Err(IoError::Corrupt(_))));
+    }
+}

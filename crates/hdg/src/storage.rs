@@ -1,0 +1,258 @@
+//! Compact HDG storage (the paper's Figure 9).
+
+use crate::schema::SchemaTree;
+use flexgraph_graph::VertexId;
+
+/// The frozen, compactly stored HDGs for all roots of one partition.
+///
+/// Instances are globally ranked in `(root, type)` order, so the
+/// instance→type edges need no destination array (storage optimization
+/// (2) of §4.1): `group_off` alone recovers them. Leaves are stored as
+/// one offset array plus one flat vertex array (optimization (1)); the
+/// schema tree is a single shared object (optimization (3)).
+#[derive(Clone, Debug)]
+pub struct Hdg {
+    pub(crate) schema: SchemaTree,
+    pub(crate) num_roots: usize,
+    /// Root vertex ids, `root_ids[local_root]` = input-graph vertex. In
+    /// the single-machine case this is simply `0..n`.
+    pub(crate) root_ids: Vec<VertexId>,
+    /// Per-(root, type) group offsets into the instance ranks:
+    /// instances of group `g = root·T + t` are `group_off[g]..group_off[g+1]`.
+    pub(crate) group_off: Vec<usize>,
+    /// Per-instance offsets into `leaf_src`.
+    pub(crate) inst_off: Vec<usize>,
+    /// Leaf (input-graph) vertex ids, concatenated per instance.
+    pub(crate) leaf_src: Vec<VertexId>,
+}
+
+impl Hdg {
+    /// The shared schema tree.
+    pub fn schema(&self) -> &SchemaTree {
+        &self.schema
+    }
+
+    /// Number of root vertices in this HDG collection.
+    pub fn num_roots(&self) -> usize {
+        self.num_roots
+    }
+
+    /// Input-graph vertex id of local root `r`.
+    pub fn root_id(&self, r: usize) -> VertexId {
+        self.root_ids[r]
+    }
+
+    /// All root ids, in local order.
+    pub fn root_ids(&self) -> &[VertexId] {
+        &self.root_ids
+    }
+
+    /// Number of neighbor types.
+    pub fn num_types(&self) -> usize {
+        self.schema.num_types()
+    }
+
+    /// Total number of neighbor instances across all roots.
+    pub fn num_instances(&self) -> usize {
+        self.inst_off.len() - 1
+    }
+
+    /// Number of `(root, type)` groups (= level-1 vertices of the HDGs).
+    pub fn num_groups(&self) -> usize {
+        self.num_roots * self.num_types()
+    }
+
+    /// The instance-rank range of group `(root, type)`.
+    pub fn group_instances(&self, root: usize, t: usize) -> std::ops::Range<usize> {
+        let g = root * self.num_types() + t;
+        self.group_off[g]..self.group_off[g + 1]
+    }
+
+    /// Leaves of instance `i` (input-graph vertex ids).
+    pub fn instance_leaves(&self, i: usize) -> &[VertexId] {
+        &self.leaf_src[self.inst_off[i]..self.inst_off[i + 1]]
+    }
+
+    /// Number of instances owned by root `r` across all types — the
+    /// `n_1..n_k` variables of the ADB cost model (§5).
+    pub fn instances_of_root(&self, r: usize) -> usize {
+        let t = self.num_types();
+        self.group_off[(r + 1) * t] - self.group_off[r * t]
+    }
+
+    /// Number of instances of type `t` owned by root `r`.
+    pub fn instances_of_root_type(&self, r: usize, t: usize) -> usize {
+        self.group_instances(r, t).len()
+    }
+
+    /// Total leaf entries under root `r` — proportional to the `m` size
+    /// variables of the cost model.
+    pub fn leaves_of_root(&self, r: usize) -> usize {
+        let range = {
+            let t = self.num_types();
+            self.group_off[r * t]..self.group_off[(r + 1) * t]
+        };
+        self.inst_off[range.end] - self.inst_off[range.start]
+    }
+
+    /// The per-instance leaf offset array (destination-major CSC of the
+    /// bottom subgraph; Figure 9's `Offset3`).
+    pub fn inst_offsets(&self) -> &[usize] {
+        &self.inst_off
+    }
+
+    /// The flat leaf vertex array (Figure 9's `Dst3` counterpart).
+    pub fn leaf_sources(&self) -> &[VertexId] {
+        &self.leaf_src
+    }
+
+    /// The per-(root, type) group offset array over instance ranks — the
+    /// only array kept for the in-between level (Figure 9's `Offset2`;
+    /// the `Dst2` array is omitted by construction).
+    pub fn group_offsets(&self) -> &[usize] {
+        &self.group_off
+    }
+
+    /// Whether every instance holds exactly one leaf (DNFA/INFA shape);
+    /// the engine uses this to collapse leaf→instance into a no-op.
+    pub fn is_flat_instances(&self) -> bool {
+        self.inst_off.windows(2).all(|w| w[1] - w[0] == 1)
+    }
+
+    /// Reconstructs the per-instance group index that the omitted `Dst`
+    /// array would have held. Baseline (SA) execution materializes this;
+    /// FlexGraph's fused path never does.
+    pub fn instance_group_index(&self) -> Vec<u32> {
+        let mut idx = vec![0u32; self.num_instances()];
+        for g in 0..self.num_groups() {
+            for r in self.group_off[g]..self.group_off[g + 1] {
+                idx[r] = g as u32;
+            }
+        }
+        idx
+    }
+
+    /// The COO pair `(dst_instance_rank, leaf_vertex)` of the bottom
+    /// subgraph — what sparse scatter aggregation consumes.
+    pub fn leaf_coo(&self) -> (Vec<u32>, Vec<VertexId>) {
+        let mut dst = Vec::with_capacity(self.leaf_src.len());
+        for i in 0..self.num_instances() {
+            for _ in self.inst_off[i]..self.inst_off[i + 1] {
+                dst.push(i as u32);
+            }
+        }
+        (dst, self.leaf_src.clone())
+    }
+
+    /// The distinct leaf vertices this HDG collection depends on — the
+    /// vertices whose features must be present (locally or via sync)
+    /// before aggregation (used by the distributed runtime).
+    pub fn dependency_leaves(&self) -> Vec<VertexId> {
+        let mut v = self.leaf_src.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Heap bytes of the compact storage (Table 5's numerator).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.schema.heap_bytes()
+            + self.root_ids.capacity() * size_of::<VertexId>()
+            + self.group_off.capacity() * size_of::<usize>()
+            + self.inst_off.capacity() * size_of::<usize>()
+            + self.leaf_src.capacity() * size_of::<VertexId>()
+    }
+
+    /// Heap bytes a naive (non-optimized) encoding would take: CSC with
+    /// explicit destination arrays at *both* levels plus a per-root schema
+    /// tree copy. Used by tests and the Table 5 harness to show the
+    /// optimization's effect.
+    pub fn naive_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let inst = self.num_instances();
+        let with_dst2 = inst * size_of::<u32>(); // the omitted Dst array
+        let per_root_schema = self.num_roots * self.schema.heap_bytes();
+        self.heap_bytes() + with_dst2 + per_root_schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{HdgBuilder, NeighborRecord};
+    use crate::schema::SchemaTree;
+
+    /// The MAGNN HDG of the paper's Figures 3c / 9, rooted at vertex A
+    /// (id 0): one MP1 instance (A,D,C) and four MP2 instances.
+    fn paper_hdg() -> crate::Hdg {
+        let schema = SchemaTree::new(vec!["MP1", "MP2"]);
+        let mut b = HdgBuilder::new(schema, vec![0]);
+        b.push(NeighborRecord {
+            root: 0,
+            nei_type: 0,
+            leaves: vec![0, 3, 2],
+        });
+        b.push(NeighborRecord {
+            root: 0,
+            nei_type: 1,
+            leaves: vec![0, 4, 1],
+        });
+        b.push(NeighborRecord {
+            root: 0,
+            nei_type: 1,
+            leaves: vec![0, 5, 6],
+        });
+        b.push(NeighborRecord {
+            root: 0,
+            nei_type: 1,
+            leaves: vec![0, 7, 6],
+        });
+        b.push(NeighborRecord {
+            root: 0,
+            nei_type: 1,
+            leaves: vec![0, 7, 8],
+        });
+        b.build()
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        let h = paper_hdg();
+        assert_eq!(h.num_roots(), 1);
+        assert_eq!(h.num_instances(), 5);
+        assert_eq!(h.num_groups(), 2);
+        assert_eq!(h.instances_of_root_type(0, 0), 1, "n1 = 1 (§5)");
+        assert_eq!(h.instances_of_root_type(0, 1), 4, "n2 = 4 (§5)");
+        assert_eq!(h.leaves_of_root(0), 15, "5 instances × 3 vertices");
+        assert!(!h.is_flat_instances());
+    }
+
+    #[test]
+    fn group_index_reconstruction_matches_ranges() {
+        let h = paper_hdg();
+        assert_eq!(h.instance_group_index(), vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn leaf_coo_expands_offsets() {
+        let h = paper_hdg();
+        let (dst, src) = h.leaf_coo();
+        assert_eq!(dst.len(), 15);
+        assert_eq!(src.len(), 15);
+        assert_eq!(&dst[..3], &[0, 0, 0]);
+        assert_eq!(&src[..3], &[0, 3, 2]);
+    }
+
+    #[test]
+    fn dependency_leaves_are_sorted_unique() {
+        let h = paper_hdg();
+        let deps = h.dependency_leaves();
+        assert_eq!(deps, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn compact_storage_beats_naive() {
+        let h = paper_hdg();
+        assert!(h.heap_bytes() < h.naive_bytes());
+    }
+}

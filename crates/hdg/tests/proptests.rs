@@ -1,0 +1,80 @@
+//! Property tests for HDG construction: the compact storage must encode
+//! exactly the records the builder received, for arbitrary record sets.
+
+use flexgraph_hdg::{HdgBuilder, NeighborRecord, SchemaTree};
+use proptest::prelude::*;
+
+fn records_strategy() -> impl Strategy<Value = (usize, usize, Vec<NeighborRecord>)> {
+    (1usize..8, 1usize..4).prop_flat_map(|(n_roots, n_types)| {
+        let rec = (
+            0..n_roots as u32,
+            0..n_types as u16,
+            proptest::collection::vec(0u32..100, 1..5),
+        )
+            .prop_map(|(root, nei_type, leaves)| NeighborRecord {
+                root,
+                nei_type,
+                leaves,
+            });
+        proptest::collection::vec(rec, 0..30).prop_map(move |recs| (n_roots, n_types, recs))
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_storage_preserves_every_record((n_roots, n_types, records) in records_strategy()) {
+        let schema = SchemaTree::new((0..n_types).map(|i| format!("t{i}")).collect::<Vec<_>>());
+        let mut b = HdgBuilder::new(schema, (0..n_roots as u32).collect());
+        for r in &records {
+            b.push(r.clone());
+        }
+        let hdg = b.build();
+
+        prop_assert_eq!(hdg.num_instances(), records.len());
+        prop_assert_eq!(hdg.num_groups(), n_roots * n_types);
+
+        // Reconstruct (root, type, leaves) multisets from the storage and
+        // compare against the input records.
+        let mut got: Vec<(u32, u16, Vec<u32>)> = Vec::new();
+        for root in 0..n_roots {
+            for t in 0..n_types {
+                for i in hdg.group_instances(root, t) {
+                    got.push((
+                        root as u32,
+                        t as u16,
+                        hdg.instance_leaves(i).to_vec(),
+                    ));
+                }
+            }
+        }
+        let mut want: Vec<(u32, u16, Vec<u32>)> = records
+            .iter()
+            .map(|r| (r.root, r.nei_type, r.leaves.clone()))
+            .collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leaf_counts_are_consistent((n_roots, n_types, records) in records_strategy()) {
+        let schema = SchemaTree::new((0..n_types).map(|i| format!("t{i}")).collect::<Vec<_>>());
+        let mut b = HdgBuilder::new(schema, (0..n_roots as u32).collect());
+        for r in &records {
+            b.push(r.clone());
+        }
+        let hdg = b.build();
+        let total: usize = (0..n_roots).map(|r| hdg.leaves_of_root(r)).sum();
+        let want: usize = records.iter().map(|r| r.leaves.len()).sum();
+        prop_assert_eq!(total, want);
+        // Group index round-trips through the omitted-Dst reconstruction.
+        let idx = hdg.instance_group_index();
+        for g in 0..hdg.num_groups() {
+            let root = g / n_types;
+            let t = g % n_types;
+            for i in hdg.group_instances(root, t) {
+                prop_assert_eq!(idx[i] as usize, g);
+            }
+        }
+    }
+}

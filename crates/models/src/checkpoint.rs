@@ -1,0 +1,199 @@
+//! Parameter checkpointing — the fault-tolerance module of the paper's
+//! architecture diagram (Figure 12).
+//!
+//! Long-running distributed training must survive worker loss; the
+//! minimal recoverable state is the parameter set (HDGs and features are
+//! reproducible from the input). The format is a versioned little-endian
+//! binary: magic, version, parameter count, then per parameter
+//! `(rows: u32, cols: u32, rows·cols × f32)`.
+
+use flexgraph_tensor::{ParamSet, Tensor};
+
+const MAGIC: u32 = 0x464c_4758; // "FLGX"
+const VERSION: u32 = 1;
+
+/// Errors surfaced when restoring a checkpoint.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not a FlexGraph checkpoint.
+    BadMagic,
+    /// Produced by an incompatible version.
+    BadVersion(u32),
+    /// Buffer ended early or sizes disagree.
+    Truncated,
+    /// Parameter count or shapes do not match the receiving model.
+    ShapeMismatch {
+        /// Parameter slot at fault.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a FlexGraph checkpoint"),
+            Self::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Truncated => write!(f, "truncated checkpoint"),
+            Self::ShapeMismatch { slot } => {
+                write!(f, "parameter {slot} has a different shape than the model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes every parameter of `params`.
+pub fn save(params: &ParamSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for i in 0..params.len() {
+        let t = params.value(i);
+        out.extend_from_slice(&(t.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(t.cols() as u32).to_le_bytes());
+        for &x in t.data() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn read_u32(buf: &[u8], off: &mut usize) -> Result<u32, CheckpointError> {
+    let end = *off + 4;
+    let bytes = buf.get(*off..end).ok_or(CheckpointError::Truncated)?;
+    *off = end;
+    Ok(u32::from_le_bytes(
+        bytes.try_into().expect("slice is 4 bytes"),
+    ))
+}
+
+/// Restores a checkpoint into `params`, validating shapes slot by slot.
+/// On error the parameter set is left unchanged.
+pub fn restore(params: &mut ParamSet, buf: &[u8]) -> Result<(), CheckpointError> {
+    let mut off = 0usize;
+    if read_u32(buf, &mut off)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(buf, &mut off)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = read_u32(buf, &mut off)? as usize;
+    if count != params.len() {
+        return Err(CheckpointError::ShapeMismatch {
+            slot: count.min(params.len()),
+        });
+    }
+    // Two-phase: parse and validate everything before mutating.
+    let mut restored: Vec<Tensor> = Vec::with_capacity(count);
+    for slot in 0..count {
+        let rows = read_u32(buf, &mut off)? as usize;
+        let cols = read_u32(buf, &mut off)? as usize;
+        if params.value(slot).shape() != (rows, cols) {
+            return Err(CheckpointError::ShapeMismatch { slot });
+        }
+        let need = rows * cols * 4;
+        let data = buf.get(off..off + need).ok_or(CheckpointError::Truncated)?;
+        off += need;
+        let vals: Vec<f32> = data
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+            .collect();
+        restored.push(Tensor::from_vec(rows, cols, vals));
+    }
+    for (slot, t) in restored.into_iter().enumerate() {
+        *params.value_mut(slot) = t;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> ParamSet {
+        let mut p = ParamSet::new();
+        p.register(Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        p.register(Tensor::from_rows(&[&[-0.5]]));
+        p
+    }
+
+    #[test]
+    fn round_trip_restores_exactly() {
+        let p = sample_params();
+        let bytes = save(&p);
+        let mut q = ParamSet::new();
+        q.register(Tensor::zeros(2, 2));
+        q.register(Tensor::zeros(1, 1));
+        restore(&mut q, &bytes).unwrap();
+        assert_eq!(q.value(0), p.value(0));
+        assert_eq!(q.value(1), p.value(1));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = save(&sample_params());
+        bytes[0] ^= 0xFF;
+        let mut q = sample_params();
+        assert_eq!(restore(&mut q, &bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_without_mutation() {
+        let p = sample_params();
+        let bytes = save(&p);
+        let mut q = ParamSet::new();
+        q.register(Tensor::full(2, 2, 9.0));
+        q.register(Tensor::full(1, 1, 9.0));
+        let cut = &bytes[..bytes.len() - 2];
+        assert_eq!(restore(&mut q, cut), Err(CheckpointError::Truncated));
+        // Two-phase restore: nothing was overwritten.
+        assert_eq!(q.value(0), &Tensor::full(2, 2, 9.0));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let bytes = save(&sample_params());
+        let mut q = ParamSet::new();
+        q.register(Tensor::zeros(2, 3)); // Wrong shape.
+        q.register(Tensor::zeros(1, 1));
+        assert_eq!(
+            restore(&mut q, &bytes),
+            Err(CheckpointError::ShapeMismatch { slot: 0 })
+        );
+    }
+
+    #[test]
+    fn training_recovers_from_checkpoint() {
+        use crate::train::{TrainConfig, Trainer};
+        use crate::Gcn;
+        use flexgraph_graph::gen::community;
+
+        let ds = community(150, 2, 6, 1, 8, 61);
+        let mut tr = Trainer::new(
+            Gcn::new(8, ds.feature_dim(), ds.num_classes),
+            TrainConfig {
+                epochs: 10,
+                lr: 0.02,
+                seed: 4,
+            },
+        );
+        tr.run(&ds);
+        let before = tr.infer(&ds);
+        let ckpt = save(&tr.params);
+
+        // Simulate a crash: wreck the parameters, then restore.
+        for i in 0..tr.params.len() {
+            tr.params.value_mut(i).map_inplace(|_| 0.123);
+        }
+        assert!(
+            tr.infer(&ds).max_abs_diff(&before) > 1e-3,
+            "wreck took effect"
+        );
+        restore(&mut tr.params, &ckpt).unwrap();
+        let after = tr.infer(&ds);
+        assert!(after.max_abs_diff(&before) < 1e-6, "exact recovery");
+    }
+}

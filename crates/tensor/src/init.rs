@@ -1,0 +1,72 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `(fan_in, fan_out)` weight.
+///
+/// Samples each entry from `U(-a, a)` with `a = sqrt(6 / (fan_in +
+/// fan_out))`, the standard choice for the linear+ReLU stacks the paper's
+/// models use.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    let data = (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-a..=a))
+        .collect();
+    Tensor::from_vec(fan_in, fan_out, data)
+}
+
+/// Standard-normal initialization scaled by `std`.
+pub fn normal(rng: &mut impl Rng, rows: usize, cols: usize, std: f32) -> Tensor {
+    // Box-Muller transform keeps us independent of rand_distr.
+    let mut data = Vec::with_capacity(rows * cols);
+    while data.len() < rows * cols {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < rows * cols {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = xavier_uniform(&mut rng, 64, 32);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+        assert_eq!(w.shape(), (64, 32));
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(xavier_uniform(&mut a, 8, 8), xavier_uniform(&mut b, 8, 8));
+    }
+
+    #[test]
+    fn normal_mean_and_std_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = normal(&mut rng, 100, 100, 2.0);
+        let mean = w.mean();
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / w.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,143 @@
+//! Scoped-thread data parallelism helpers.
+//!
+//! FlexGraph's feature-fusion kernels are embarrassingly parallel over
+//! destination vertices. The paper implements them with AVX-512 intrinsics
+//! inside libgrape-lite worker threads; here we split output buffers into
+//! disjoint row chunks and hand each chunk to a crossbeam scoped thread,
+//! keeping the inner per-row loops simple and auto-vectorizable.
+
+use std::sync::OnceLock;
+
+/// Number of compute threads used by parallel kernels.
+///
+/// Defaults to the machine's available parallelism, capped at 16 (the
+/// paper's per-machine worker count is far larger, but our graphs are
+/// laptop-scale and oversubscription hurts). Override with the
+/// `FLEXGRAPH_THREADS` environment variable.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(s) = std::env::var("FLEXGRAPH_THREADS") {
+            if let Ok(n) = s.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(4)
+    })
+}
+
+/// Runs `body(first_row, chunk)` over disjoint row chunks of `out`.
+///
+/// `out` is treated as `n_rows` logical rows of `row_width` elements; each
+/// chunk is a maximal run of whole rows. Falls back to a single serial call
+/// when the work is small, so tiny tensors do not pay thread-spawn costs.
+pub fn parallel_for<F>(n_rows: usize, out: &mut [f32], row_width: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), n_rows * row_width);
+    let threads = num_threads();
+    // Small-work cutoff: measured crossover for spawn overhead.
+    if threads <= 1 || n_rows * row_width < 16 * 1024 {
+        body(0, out);
+        return;
+    }
+    let rows_per = n_rows.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let mut rest = out;
+        let mut row0 = 0usize;
+        let body = &body;
+        while !rest.is_empty() {
+            let take = (rows_per * row_width).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let r0 = row0;
+            s.spawn(move |_| body(r0, chunk));
+            row0 += take / row_width;
+            rest = tail;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Runs `body(range)` for disjoint index sub-ranges of `0..n` in parallel,
+/// for kernels that only read shared state and write through interior
+/// mutability or return values through their own channel.
+pub fn parallel_ranges<F>(n: usize, min_grain: usize, body: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= min_grain {
+        body(0..n);
+        return;
+    }
+    let per = n.div_ceil(threads).max(min_grain);
+    crossbeam::thread::scope(|s| {
+        let body = &body;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per).min(n);
+            s.spawn(move |_| body(start..end));
+            start = end;
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_row_exactly_once() {
+        let rows = 1000;
+        let width = 32;
+        let mut out = vec![0.0f32; rows * width];
+        parallel_for(rows, &mut out, width, |r0, chunk| {
+            for (i, row) in chunk.chunks_mut(width).enumerate() {
+                for x in row.iter_mut() {
+                    *x += (r0 + i) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            assert!(out[r * width..(r + 1) * width]
+                .iter()
+                .all(|&x| x == r as f32));
+        }
+    }
+
+    #[test]
+    fn serial_fallback_for_small_work() {
+        let mut out = vec![0.0f32; 8];
+        parallel_for(2, &mut out, 4, |r0, chunk| {
+            assert_eq!(r0, 0);
+            assert_eq!(chunk.len(), 8);
+        });
+    }
+
+    #[test]
+    fn ranges_partition_the_domain() {
+        let n = 100_001;
+        let count = AtomicUsize::new(0);
+        parallel_ranges(n, 1, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn ranges_respect_min_grain_serially() {
+        let calls = AtomicUsize::new(0);
+        parallel_ranges(10, 100, |r| {
+            assert_eq!(r, 0..10);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+}

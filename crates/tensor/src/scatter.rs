@@ -1,0 +1,236 @@
+//! Sparse scatter reductions and row gather.
+//!
+//! These are the tensor-level primitives that GAS-like GNN frameworks use
+//! for neighborhood aggregation (paper §3.3, Figure 8): a `value` tensor
+//! holds one row per edge, an `index` array holds the destination of each
+//! row, and every row with the same destination is reduced into one output
+//! row. The paper's "SA" baseline strategy (§7.5) is built exactly from
+//! these; FlexGraph's feature-fusion path avoids materializing the `value`
+//! tensor in the first place.
+
+use crate::tensor::Tensor;
+
+fn check(values: &Tensor, index: &[u32], out_rows: usize) {
+    assert_eq!(
+        values.rows(),
+        index.len(),
+        "scatter needs one index per value row"
+    );
+    if let Some(&m) = index.iter().max() {
+        assert!(
+            (m as usize) < out_rows,
+            "scatter index {m} out of range for {out_rows} output rows"
+        );
+    }
+}
+
+/// Sums all value rows sharing a destination index (Figure 8 of the paper).
+///
+/// Output row `d` is `Σ values[i] for index[i] == d`; destinations that
+/// receive no rows stay zero.
+pub fn scatter_add(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    check(values, index, out_rows);
+    let d = values.cols();
+    let mut out = Tensor::zeros(out_rows, d);
+    for (i, &dst) in index.iter().enumerate() {
+        let dst = dst as usize;
+        let src = values.row(i);
+        let o = out.row_mut(dst);
+        for (o, &s) in o.iter_mut().zip(src) {
+            *o += s;
+        }
+    }
+    out
+}
+
+/// Per-destination arithmetic mean; empty destinations stay zero.
+pub fn scatter_mean(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    let mut out = scatter_add(values, index, out_rows);
+    let counts = index_counts(index, out_rows);
+    for (r, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            let inv = 1.0 / c as f32;
+            for x in out.row_mut(r) {
+                *x *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Per-destination, per-column maximum; empty destinations stay zero
+/// (matching the convention of `pytorch_scatter` with a zero fill).
+pub fn scatter_max(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_extreme(values, index, out_rows, f32::NEG_INFINITY, f32::max)
+}
+
+/// Per-destination, per-column minimum; empty destinations stay zero.
+pub fn scatter_min(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_extreme(values, index, out_rows, f32::INFINITY, f32::min)
+}
+
+fn scatter_extreme(
+    values: &Tensor,
+    index: &[u32],
+    out_rows: usize,
+    init: f32,
+    pick: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    check(values, index, out_rows);
+    let d = values.cols();
+    let mut out = Tensor::full(out_rows, d, init);
+    for (i, &dst) in index.iter().enumerate() {
+        let src = values.row(i);
+        let o = out.row_mut(dst as usize);
+        for (o, &s) in o.iter_mut().zip(src) {
+            *o = pick(*o, s);
+        }
+    }
+    // Untouched destinations revert to zero.
+    for x in out.data_mut() {
+        if *x == init {
+            *x = 0.0;
+        }
+    }
+    out
+}
+
+/// Softmax over value rows sharing a destination, per column.
+///
+/// The output has the shape of `values`: row `i`, column `c` becomes
+/// `exp(v[i][c]) / Σ exp(v[j][c])` over all `j` with `index[j] ==
+/// index[i]`. Used by MAGNN-style attention within one HDG level.
+pub fn scatter_softmax(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    check(values, index, out_rows);
+    let d = values.cols();
+    // Stabilize per destination group with the column max.
+    let maxes = scatter_extreme(values, index, out_rows, f32::NEG_INFINITY, f32::max);
+    let mut exp = Tensor::zeros(values.rows(), d);
+    for (i, &dst) in index.iter().enumerate() {
+        let m = maxes.row(dst as usize);
+        let src = values.row(i);
+        let out = exp.row_mut(i);
+        for ((o, &s), &mx) in out.iter_mut().zip(src).zip(m) {
+            *o = (s - mx).exp();
+        }
+    }
+    let sums = scatter_add(&exp, index, out_rows);
+    for (i, &dst) in index.iter().enumerate() {
+        let z = sums.row(dst as usize).to_vec();
+        let row = exp.row_mut(i);
+        for (x, z) in row.iter_mut().zip(z) {
+            if z > 0.0 {
+                *x /= z;
+            }
+        }
+    }
+    exp
+}
+
+/// Number of value rows targeting each destination.
+pub fn index_counts(index: &[u32], out_rows: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; out_rows];
+    for &i in index {
+        counts[i as usize] += 1;
+    }
+    counts
+}
+
+/// Gathers rows of `src` into a new tensor: output row `i` is
+/// `src[idx[i]]`. This is the materialization step of sparse aggregation —
+/// the memory-explosion path the paper's feature fusion removes.
+pub fn gather_rows(src: &Tensor, idx: &[u32]) -> Tensor {
+    let d = src.cols();
+    let mut out = Tensor::zeros(idx.len(), d);
+    for (i, &s) in idx.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(src.row(s as usize));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals() -> Tensor {
+        Tensor::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]])
+    }
+
+    #[test]
+    fn scatter_add_matches_figure8_semantics() {
+        // Figure 8 of the paper: rows with the same dst index are summed.
+        let out = scatter_add(&vals(), &[0, 1, 0, 2], 3);
+        assert_eq!(
+            out,
+            Tensor::from_rows(&[&[4.0, 40.0], &[2.0, 20.0], &[4.0, 40.0]])
+        );
+    }
+
+    #[test]
+    fn scatter_add_empty_destination_is_zero() {
+        let out = scatter_add(&vals(), &[0, 0, 0, 0], 2);
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_mean_divides_by_count() {
+        let out = scatter_mean(&vals(), &[0, 0, 1, 1], 2);
+        assert_eq!(out, Tensor::from_rows(&[&[1.5, 15.0], &[3.5, 35.0]]));
+    }
+
+    #[test]
+    fn scatter_max_and_min() {
+        let v = Tensor::from_rows(&[&[1.0, -5.0], &[3.0, -1.0], &[2.0, -9.0]]);
+        let mx = scatter_max(&v, &[0, 0, 1], 2);
+        assert_eq!(mx, Tensor::from_rows(&[&[3.0, -1.0], &[2.0, -9.0]]));
+        let mn = scatter_min(&v, &[0, 0, 1], 2);
+        assert_eq!(mn, Tensor::from_rows(&[&[1.0, -5.0], &[2.0, -9.0]]));
+    }
+
+    #[test]
+    fn scatter_max_empty_destination_is_zero_not_neg_inf() {
+        let v = Tensor::from_rows(&[&[5.0]]);
+        let mx = scatter_max(&v, &[1], 3);
+        assert_eq!(mx, Tensor::from_rows(&[&[0.0], &[5.0], &[0.0]]));
+    }
+
+    #[test]
+    fn scatter_softmax_sums_to_one_per_group() {
+        let v = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0], &[0.0]]);
+        let sm = scatter_softmax(&v, &[0, 0, 0, 1], 2);
+        let g0: f32 = sm.get(0, 0) + sm.get(1, 0) + sm.get(2, 0);
+        assert!((g0 - 1.0).abs() < 1e-5);
+        // Singleton group softmax is exactly 1.
+        assert!((sm.get(3, 0) - 1.0).abs() < 1e-6);
+        // Larger logits get larger shares.
+        assert!(sm.get(2, 0) > sm.get(1, 0) && sm.get(1, 0) > sm.get(0, 0));
+    }
+
+    #[test]
+    fn scatter_softmax_is_stable_for_huge_logits() {
+        let v = Tensor::from_rows(&[&[1000.0], &[1000.0]]);
+        let sm = scatter_softmax(&v, &[0, 0], 1);
+        assert!((sm.get(0, 0) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gather_then_scatter_is_degree_weighted_sum() {
+        let src = Tensor::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let idx = [2u32, 0, 2];
+        let g = gather_rows(&src, &idx);
+        assert_eq!(g, Tensor::from_rows(&[&[3.0], &[1.0], &[3.0]]));
+        let s = scatter_add(&g, &[0, 0, 1], 2);
+        assert_eq!(s, Tensor::from_rows(&[&[4.0], &[3.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scatter_index_out_of_range_panics() {
+        let _ = scatter_add(&vals(), &[0, 1, 2, 9], 3);
+    }
+
+    #[test]
+    fn index_counts_counts() {
+        assert_eq!(index_counts(&[0, 2, 2, 2], 4), vec![1, 0, 3, 0]);
+    }
+}

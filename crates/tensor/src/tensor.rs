@@ -1,0 +1,564 @@
+//! The dense 2-D tensor type and its elementwise / linear-algebra kernels.
+//!
+//! All tensors are row-major `f32` matrices. FlexGraph's feature matrices
+//! are `(#vertices, feature_dim)` and its weights are
+//! `(in_dim, out_dim)`, so two dimensions are all the system needs; logical
+//! 3-D reshapes (paper Figure 10) are expressed as row-block views over the
+//! same buffer via [`Tensor::reshape_rows`].
+
+use crate::par::parallel_for;
+use std::fmt;
+
+/// A dense, row-major `f32` matrix.
+///
+/// Cloning is a deep copy; the distributed runtime shares tensors through
+/// `Arc` where aliasing is intended.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor of the given shape filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from an owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a tensor from row slices (all rows must have equal length).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows are not allowed");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read access to the raw row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element
+    /// count. This is the paper's "reshape" (Figure 10): a logical-layout
+    /// change with no memory copy of substance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element count changes.
+    pub fn reshape_rows(self, rows: usize, cols: usize) -> Self {
+        assert_eq!(rows * cols, self.data.len(), "reshape must preserve length");
+        Self {
+            rows,
+            cols,
+            data: self.data,
+        }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in elementwise op"
+        );
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// In-place elementwise accumulate: `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaled accumulate: `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scalar multiply into a new tensor.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `bias` (a `1×cols` tensor) to every row.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(bias.rows, 1, "bias must be a single row");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Self {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Matrix product `self · other`, parallelized over row blocks.
+    ///
+    /// The inner loop runs over the shared dimension with the right operand
+    /// accessed row-wise, which keeps the access pattern sequential so that
+    /// the compiler auto-vectorizes the multiply-accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        parallel_for(m, out.data.as_mut_slice(), n, |r0, chunk| {
+            for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
+                let r = r0 + ri;
+                let arow = &a[r * k..(r + 1) * k];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Transpose into a new tensor.
+    pub fn transpose(&self) -> Self {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]` (equal row counts).
+    pub fn concat_cols(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "concat_cols needs equal row counts");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Self {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Vertical concatenation (equal column counts).
+    pub fn concat_rows(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "concat_rows needs equal col counts");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Self {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum, producing a `1×cols` tensor (used as the matmul
+    /// bias gradient).
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Row-wise sum, producing an `rows×1` tensor (used as an attention
+    /// score).
+    pub fn sum_cols(&self) -> Self {
+        let mut out = Tensor::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    /// Per-row index of the maximum element (ties resolve to the first).
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    })
+                    .0
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute difference against another tensor of equal shape.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch in max_abs_diff"
+        );
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Row-wise softmax into a new tensor (numerically stabilized).
+    pub fn softmax_rows(&self) -> Self {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                z += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= z;
+            }
+        }
+        out
+    }
+
+    /// Heap bytes held by the tensor buffer (used by the memory harnesses).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_contents() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.shape(), (3, 4));
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Tensor::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_rows(&[&[1.0, 0.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[1.0, 1.0], &[0.0, 1.0], &[2.0, 0.0]]);
+        assert_eq!(a.matmul(&b), Tensor::from_rows(&[&[5.0, 1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_rows(&[&[1.0, -2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.add(&b), Tensor::from_rows(&[&[4.0, 2.0]]));
+        assert_eq!(a.sub(&b), Tensor::from_rows(&[&[-2.0, -6.0]]));
+        assert_eq!(a.mul(&b), Tensor::from_rows(&[&[3.0, -8.0]]));
+        assert_eq!(a.relu(), Tensor::from_rows(&[&[1.0, 0.0]]));
+        assert_eq!(a.scale(2.0), Tensor::from_rows(&[&[2.0, -4.0]]));
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[10.0, 20.0]]);
+        assert_eq!(
+            a.add_row_broadcast(&b),
+            Tensor::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
+    }
+
+    #[test]
+    fn concat_cols_and_rows() {
+        let a = Tensor::from_rows(&[&[1.0], &[2.0]]);
+        let b = Tensor::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(
+            a.concat_cols(&b),
+            Tensor::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]])
+        );
+        assert_eq!(
+            a.concat_rows(&b),
+            Tensor::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.sum_rows(), Tensor::from_rows(&[&[4.0, 6.0]]));
+        assert_eq!(a.sum_cols(), Tensor::from_rows(&[&[3.0], &[7.0]]));
+        assert_eq!(a.argmax_rows(), vec![1, 1]);
+    }
+
+    #[test]
+    fn reshape_preserves_buffer() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let b = a.clone().reshape_rows(2, 2);
+        assert_eq!(b, Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+    }
+
+    #[test]
+    fn softmax_rows_is_normalized() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[1000.0, 1000.0, 1000.0]]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large-but-equal logits must not overflow to NaN.
+        assert!((s.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn large_parallel_matmul_matches_serial_reference() {
+        // Exercise the parallel path with enough rows to split chunks.
+        let m = 67;
+        let k = 31;
+        let n = 13;
+        let a = Tensor::from_vec(m, k, (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect());
+        let b = Tensor::from_vec(k, n, (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect());
+        let c = a.matmul(&b);
+        // Serial reference.
+        let mut expect = Tensor::zeros(m, n);
+        for r in 0..m {
+            for kk in 0..k {
+                for cc in 0..n {
+                    let v = expect.get(r, cc) + a.get(r, kk) * b.get(kk, cc);
+                    expect.set(r, cc, v);
+                }
+            }
+        }
+        assert!(c.max_abs_diff(&expect) < 1e-4);
+    }
+}

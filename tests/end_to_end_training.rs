@@ -1,0 +1,184 @@
+//! End-to-end training of every model through the public facade API.
+
+use flexgraph::graph::gen::{community, hetero_imdb};
+use flexgraph::models::magnn::imdb_metapaths;
+use flexgraph::prelude::*;
+
+fn assert_learns(stats: &[EpochStats], floor: f64, name: &str) {
+    let first = stats.first().unwrap();
+    let last = stats.last().unwrap();
+    assert!(
+        last.loss < first.loss,
+        "{name}: loss must decrease ({} -> {})",
+        first.loss,
+        last.loss
+    );
+    assert!(
+        last.accuracy > floor,
+        "{name}: accuracy {} below floor {floor}",
+        last.accuracy
+    );
+}
+
+#[test]
+fn gcn_end_to_end() {
+    let ds = community(400, 4, 8, 1, 24, 31);
+    let mut tr = Trainer::new(
+        Gcn::new(24, ds.feature_dim(), ds.num_classes),
+        TrainConfig {
+            epochs: 40,
+            lr: 0.02,
+            seed: 1,
+        },
+    );
+    let stats = tr.run(&ds);
+    assert_learns(&stats, 0.9, "GCN");
+}
+
+#[test]
+fn pinsage_end_to_end() {
+    let ds = community(300, 3, 8, 1, 24, 32);
+    let mut tr = Trainer::new(
+        PinSage::new(24, ds.feature_dim(), ds.num_classes, 9),
+        TrainConfig {
+            epochs: 35,
+            lr: 0.02,
+            seed: 2,
+        },
+    );
+    let stats = tr.run(&ds);
+    assert_learns(&stats, 0.85, "PinSage");
+}
+
+#[test]
+fn magnn_end_to_end() {
+    let ds = hetero_imdb(400, 3, 3, 24, 33);
+    let mut tr = Trainer::new(
+        Magnn::new(24, ds.feature_dim(), ds.num_classes, imdb_metapaths(), 30),
+        TrainConfig {
+            epochs: 45,
+            lr: 0.02,
+            seed: 3,
+        },
+    );
+    let stats = tr.run(&ds);
+    assert_learns(&stats, 0.5, "MAGNN");
+}
+
+#[test]
+fn pgnn_and_jknet_end_to_end() {
+    let ds = community(250, 3, 7, 1, 16, 34);
+    let mut pg = Trainer::new(
+        Pgnn::new(16, ds.feature_dim(), ds.num_classes, 4, 10, 5),
+        TrainConfig {
+            epochs: 30,
+            lr: 0.02,
+            seed: 4,
+        },
+    );
+    assert_learns(&pg.run(&ds), 0.7, "P-GNN");
+
+    let mut jk = Trainer::new(
+        JkNet::new(16, ds.feature_dim(), ds.num_classes, 2),
+        TrainConfig {
+            epochs: 30,
+            lr: 0.02,
+            seed: 5,
+        },
+    );
+    assert_learns(&jk.run(&ds), 0.7, "JK-Net");
+}
+
+#[test]
+fn stage_breakdown_shapes_match_table_4() {
+    // Table 4's qualitative shape: GCN has ~0 % selection; PinSage has a
+    // substantial selection share (its walks re-run per epoch); Update is
+    // a small share everywhere.
+    let ds = community(400, 3, 10, 2, 32, 35);
+
+    let mut gcn = Trainer::new(
+        Gcn::new(32, ds.feature_dim(), ds.num_classes),
+        TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    );
+    let g_stats = gcn.run(&ds);
+    let g_times = Trainer::<Gcn>::total_times(&g_stats);
+    let (g_sel, _, _) = g_times.shares();
+    assert!(g_sel < 5.0, "GCN selection share {g_sel:.1}% should be ~0");
+
+    let mut ps = Trainer::new(
+        PinSage::new(32, ds.feature_dim(), ds.num_classes, 7),
+        TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    );
+    let p_stats = ps.run(&ds);
+    let p_times = Trainer::<PinSage>::total_times(&p_stats);
+    let (p_sel, _, _) = p_times.shares();
+    assert!(
+        p_sel > g_sel,
+        "PinSage selection share ({p_sel:.1}%) must exceed GCN's ({g_sel:.1}%)"
+    );
+}
+
+#[test]
+fn pinsage_hdgs_change_across_epochs_dynamic_selection() {
+    // §7.2's remark: stochastic/dynamic selection cannot be
+    // pre-computed; NAU re-runs it per epoch. Verify that two epochs see
+    // different neighbor selections but training still works.
+    let ds = community(150, 2, 6, 1, 8, 36);
+    let mut tr = Trainer::new(
+        PinSage::new(8, ds.feature_dim(), ds.num_classes, 41),
+        TrainConfig {
+            epochs: 6,
+            lr: 0.02,
+            seed: 6,
+        },
+    );
+    let stats = tr.run(&ds);
+    assert!(stats.last().unwrap().loss.is_finite());
+}
+
+#[test]
+fn transductive_split_generalizes_to_held_out_vertices() {
+    // Train on 50% of the vertices, evaluate on the other half — the
+    // standard semi-supervised GCN protocol (Kipf & Welling). Smoothing
+    // over the community graph must carry the signal to unseen labels.
+    let ds = community(400, 4, 8, 1, 24, 38);
+    let (train_idx, val_idx) = ds.split_masks(0.5, 9);
+    assert_eq!(train_idx.len() + val_idx.len(), 400);
+    let mut tr = Trainer::new(
+        Gcn::new(24, ds.feature_dim(), ds.num_classes),
+        TrainConfig {
+            epochs: 40,
+            lr: 0.02,
+            seed: 10,
+        },
+    );
+    for e in 0..40 {
+        tr.epoch_masked(&ds, e, &train_idx);
+    }
+    let val_acc = tr.evaluate(&ds, &val_idx);
+    assert!(val_acc > 0.85, "held-out accuracy {val_acc}");
+}
+
+#[test]
+fn inference_after_training_is_consistent() {
+    let ds = community(200, 2, 6, 1, 16, 37);
+    let mut tr = Trainer::new(
+        Gcn::new(16, ds.feature_dim(), ds.num_classes),
+        TrainConfig {
+            epochs: 25,
+            lr: 0.02,
+            seed: 7,
+        },
+    );
+    tr.run(&ds);
+    let logits = tr.infer(&ds);
+    assert_eq!(logits.shape(), (200, ds.num_classes));
+    let acc = flexgraph::models::train::accuracy(&logits, &ds.labels);
+    assert!(acc > 0.85, "inference accuracy {acc}");
+}
