@@ -1,0 +1,190 @@
+//! Scatter kernel baseline: serial vs planned-parallel throughput.
+//!
+//! Measures every scatter kernel (add / mean / max / min / softmax) and
+//! `gather_rows` at two or three edge scales, comparing the seed's
+//! single-threaded kernels against the ScatterPlan-based parallel ones,
+//! and verifies the outputs are bitwise identical before reporting.
+//! Emits `BENCH_scatter.json` in the current directory.
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25) and thread count
+//! with `FLEXGRAPH_THREADS`. Numbers are whatever the host machine
+//! gives: on a single-core container the planned path's win is cache
+//! locality and branch removal at best, and the JSON records exactly
+//! that — the speedup column is measured, never assumed.
+
+use flexgraph::tensor::scatter::{
+    gather_rows_serial, scatter_add_serial, scatter_add_with_plan, scatter_max_serial,
+    scatter_max_with_plan, scatter_mean_serial, scatter_mean_with_plan, scatter_min_serial,
+    scatter_min_with_plan, scatter_softmax_serial, scatter_softmax_with_plan, ScatterPlan,
+};
+use flexgraph::tensor::{gather_rows, num_threads, Tensor};
+use flexgraph_bench::bench_scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured kernel at one scale.
+struct Row {
+    scale_name: &'static str,
+    edges: usize,
+    dim: usize,
+    kernel: &'static str,
+    serial_rows_per_s: f64,
+    planned_rows_per_s: f64,
+    bitwise_identical: bool,
+}
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// Times `f`, adapting repetitions so each measurement runs ≥ ~100 ms.
+fn rows_per_s(edges: usize, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
+    let mut out = f(); // Warm-up; also the value used for identity checks.
+    let mut reps = 1u32;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            out = std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_secs_f64() >= 0.1 || reps >= 1 << 14 {
+            return (edges as f64 * reps as f64 / dt.as_secs_f64(), out);
+        }
+        reps *= 4;
+    }
+}
+
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bench_scale_point(scale_name: &'static str, edges: usize, dim: usize, rows: &mut Vec<Row>) {
+    let out_rows = (edges / 8).max(1);
+    let src_rows = out_rows;
+    let values = Tensor::from_vec(edges, dim, fill(edges * dim, 42));
+    let index: Vec<u32> = (0..edges)
+        .map(|e| ((e as u64).wrapping_mul(2654435761) % out_rows as u64) as u32)
+        .collect();
+    let plan = ScatterPlan::new(&index, out_rows);
+
+    type SerialFn = fn(&Tensor, &[u32], usize) -> Tensor;
+    type PlannedFn = fn(&Tensor, &ScatterPlan) -> Tensor;
+    let kernels: [(&'static str, SerialFn, PlannedFn); 5] = [
+        ("scatter_add", scatter_add_serial, scatter_add_with_plan),
+        ("scatter_mean", scatter_mean_serial, scatter_mean_with_plan),
+        ("scatter_max", scatter_max_serial, scatter_max_with_plan),
+        ("scatter_min", scatter_min_serial, scatter_min_with_plan),
+        (
+            "scatter_softmax",
+            scatter_softmax_serial,
+            scatter_softmax_with_plan,
+        ),
+    ];
+    for (kernel, serial, planned) in kernels {
+        let (s_rate, s_out) = rows_per_s(edges, || serial(&values, &index, out_rows));
+        let (p_rate, p_out) = rows_per_s(edges, || planned(&values, &plan));
+        rows.push(Row {
+            scale_name,
+            edges,
+            dim,
+            kernel,
+            serial_rows_per_s: s_rate,
+            planned_rows_per_s: p_rate,
+            bitwise_identical: bitwise_eq(&s_out, &p_out),
+        });
+    }
+
+    // gather_rows: the adjoint kernel, edge-shaped output.
+    let feats = Tensor::from_vec(src_rows, dim, fill(src_rows * dim, 17));
+    let (s_rate, s_out) = rows_per_s(edges, || gather_rows_serial(&feats, &index));
+    let (p_rate, p_out) = rows_per_s(edges, || gather_rows(&feats, &index));
+    rows.push(Row {
+        scale_name,
+        edges,
+        dim,
+        kernel: "gather_rows",
+        serial_rows_per_s: s_rate,
+        planned_rows_per_s: p_rate,
+        bitwise_identical: bitwise_eq(&s_out, &p_out),
+    });
+}
+
+fn main() {
+    let scale = bench_scale().0;
+    let threads = num_threads();
+    let mut rows = Vec::new();
+    // Three scales: ~32k, ~256k, ~1M edges at scale 1.0.
+    let points: [(&'static str, usize, usize); 3] = [
+        ("small", ((32_768.0 * scale) as usize).max(1024), 32),
+        ("medium", ((262_144.0 * scale) as usize).max(4096), 32),
+        ("large", ((1_048_576.0 * scale) as usize).max(16_384), 64),
+    ];
+    for (name, edges, dim) in points {
+        eprintln!("benchmarking {name} ({edges} edges x {dim} dims)...");
+        bench_scale_point(name, edges, dim, &mut rows);
+    }
+
+    let all_identical = rows.iter().all(|r| r.bitwise_identical);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"all_bitwise_identical\": {all_identical},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = r.planned_rows_per_s / r.serial_rows_per_s;
+        let _ = write!(
+            json,
+            "    {{\"scale\": \"{}\", \"edges\": {}, \"dim\": {}, \"kernel\": \"{}\", \
+             \"serial_rows_per_s\": {:.0}, \"planned_rows_per_s\": {:.0}, \
+             \"speedup\": {:.3}, \"bitwise_identical\": {}}}",
+            r.scale_name,
+            r.edges,
+            r.dim,
+            r.kernel,
+            r.serial_rows_per_s,
+            r.planned_rows_per_s,
+            speedup,
+            r.bitwise_identical
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scatter.json", &json).expect("write BENCH_scatter.json");
+
+    println!(
+        "{:<8} {:>9} {:>4} {:<16} {:>14} {:>14} {:>8}  bitwise",
+        "scale", "edges", "dim", "kernel", "serial rows/s", "planned rows/s", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>9} {:>4} {:<16} {:>14.0} {:>14.0} {:>8.3}  {}",
+            r.scale_name,
+            r.edges,
+            r.dim,
+            r.kernel,
+            r.serial_rows_per_s,
+            r.planned_rows_per_s,
+            r.planned_rows_per_s / r.serial_rows_per_s,
+            if r.bitwise_identical {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!("\n{threads} threads; wrote BENCH_scatter.json");
+    assert!(all_identical, "planned kernels drifted from serial output");
+}

@@ -133,12 +133,17 @@ impl WorkerComm {
             deliver_at,
         };
         let n = self.shared.sent_counter.fetch_add(1, Ordering::Relaxed) + 1;
-        if fault.duplicate_every != 0 && n.is_multiple_of(fault.duplicate_every) {
-            let _ = self.senders[to].send(msg.clone());
-        }
+        let duplicate = (fault.duplicate_every != 0 && n.is_multiple_of(fault.duplicate_every))
+            .then(|| msg.clone());
         self.senders[to]
             .send(msg)
             .expect("fabric receiver dropped while workers alive");
+        if let Some(dup) = duplicate {
+            // Best-effort: the receiver may legitimately finish its
+            // protocol off the original and hang up before the
+            // duplicate lands.
+            let _ = self.senders[to].send(dup);
+        }
     }
 
     /// Receives the next message carrying `tag`, blocking until its

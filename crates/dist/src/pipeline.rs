@@ -18,7 +18,8 @@
 use crate::shard::Shard;
 use flexgraph_comm::{decode_rows_with, encode_flat_rows, encode_rows, WorkerComm};
 use flexgraph_graph::VertexId;
-use flexgraph_tensor::Tensor;
+use flexgraph_tensor::{scatter_add_gathered_into, ScatterPlan, Tensor};
+use std::sync::Arc;
 
 /// The granularity of the first reduction level.
 ///
@@ -60,6 +61,14 @@ pub struct LeafSync {
     pub partial_from: Vec<bool>,
     /// `(slot, local_feature_row)` pairs for locally-owned leaves.
     pub local_edges: Vec<(u32, u32)>,
+    /// Scatter plan over the slot indices of `local_edges` — the
+    /// slot-owned parallel fold both sync modes use for the local
+    /// aggregation step. Built once per NeighborSelection, reused every
+    /// layer and epoch.
+    pub local_plan: Arc<ScatterPlan>,
+    /// Feature row per `local_edges` position (the gather side of the
+    /// planned fold).
+    pub local_rows: Vec<u32>,
     /// `(slot, leaf_vertex)` pairs whose leaf lives remotely (consumed by
     /// the unpipelined receiver), sorted by slot.
     pub remote_edges: Vec<(u32, VertexId)>,
@@ -103,6 +112,8 @@ pub fn build_leaf_sync(shards: &[Shard]) -> Vec<LeafSync> {
                 partial_to: vec![true; k],
                 partial_from: vec![true; k],
                 local_edges: Vec::new(),
+                local_plan: Arc::new(ScatterPlan::new(&[], num_slots)),
+                local_rows: Vec::new(),
                 remote_edges: Vec::new(),
                 remote_edges_by_owner: vec![Vec::new(); k],
                 slot_counts: vec![0u32; num_slots],
@@ -142,6 +153,9 @@ pub fn build_leaf_sync(shards: &[Shard]) -> Vec<LeafSync> {
         for r in &mut p.remote_edges_by_owner {
             r.sort_unstable();
         }
+        let slot_idx: Vec<u32> = p.local_edges.iter().map(|&(s, _)| s).collect();
+        p.local_rows = p.local_edges.iter().map(|&(_, r)| r).collect();
+        p.local_plan = Arc::new(ScatterPlan::new(&slot_idx, p.num_slots));
     }
     // Choose the cheaper wire form per (sender, receiver) pair.
     for w in 0..k {
@@ -206,14 +220,10 @@ pub fn leaf_level_pipelined(
         comm.send(p, tag, payload);
     }
 
-    // (2) Local aggregation overlaps with the in-flight messages.
+    // (2) Local aggregation overlaps with the in-flight messages —
+    // executed as a slot-owned parallel fold through the cached plan.
     let mut slots = Tensor::zeros(sync.num_slots, d);
-    for &(i, row) in &sync.local_edges {
-        let dst = slots.row_mut(i as usize);
-        for (o, &x) in dst.iter_mut().zip(local_feats.row(row as usize)) {
-            *o += x;
-        }
-    }
+    scatter_add_gathered_into(&mut slots, local_feats, &sync.local_rows, &sync.local_plan);
 
     // (3) Fold in arrivals (streamed; no per-row allocation).
     let num_vertices = shard.owner.len();
@@ -350,14 +360,10 @@ pub fn leaf_level_unpipelined(
         debug_assert_eq!(dim, d);
     }
 
-    // Aggregate everything at once.
+    // Aggregate everything at once; the local part runs as the same
+    // planned slot-owned fold the pipelined mode uses.
     let mut slots = Tensor::zeros(sync.num_slots, d);
-    for &(i, row) in &sync.local_edges {
-        let dst = slots.row_mut(i as usize);
-        for (o, &x) in dst.iter_mut().zip(local_feats.row(row as usize)) {
-            *o += x;
-        }
-    }
+    scatter_add_gathered_into(&mut slots, local_feats, &sync.local_rows, &sync.local_plan);
     for &(i, leaf) in &sync.remote_edges {
         let off = remote_off[leaf as usize];
         debug_assert_ne!(off, u32::MAX, "peer shipped every depended-on row");

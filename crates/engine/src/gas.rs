@@ -14,7 +14,9 @@ use crate::memory::{EngineError, MemoryBudget};
 use flexgraph_graph::walk::WalkConfig;
 use flexgraph_graph::{Graph, VertexId};
 use flexgraph_tensor::fusion::materialized_bytes;
-use flexgraph_tensor::scatter::{gather_rows, scatter_add, scatter_mean};
+use flexgraph_tensor::scatter::{
+    gather_rows, scatter_add_with_plan, scatter_mean_with_plan, ScatterPlan,
+};
 use flexgraph_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,7 +32,7 @@ pub fn saga_aggregate(
     edge_fn: Option<&dyn Fn(&mut Tensor)>,
     budget: &MemoryBudget,
 ) -> Result<AggrResult, EngineError> {
-    let (dst, src) = graph.coo_in();
+    let (_, src) = graph.coo_in();
     let bytes = materialized_bytes(src.len(), feats.cols());
     budget.check(bytes)?;
     // Scatter: one message row per edge — the defining materialization.
@@ -39,10 +41,11 @@ pub fn saga_aggregate(
     if let Some(f) = edge_fn {
         f(&mut messages);
     }
-    // Gather.
+    // Gather, through the graph's cached in-edge scatter plan.
+    let plan = graph.in_scatter_plan();
     let features = match op {
-        AggrOp::Sum => scatter_add(&messages, &dst, graph.num_vertices()),
-        AggrOp::Mean => scatter_mean(&messages, &dst, graph.num_vertices()),
+        AggrOp::Sum => scatter_add_with_plan(&messages, &plan),
+        AggrOp::Mean => scatter_mean_with_plan(&messages, &plan),
         _ => return Err(EngineError::Unsupported("GAS gather supports sum/mean")),
     };
     Ok(AggrResult {
@@ -98,6 +101,9 @@ pub fn gas_walk_neighbors(
             cursor += 1;
         }
     }
+    // One plan for all (hop, trace) propagation stages — the stage index
+    // never changes, so the sort is paid once.
+    let stage_plan = ScatterPlan::new(&dst_edge_order, n.max(1));
 
     // Each (hop, trace) is one full Scatter → ApplyEdge → Gather
     // propagation stage over ALL edges: a per-edge message tensor is
@@ -130,7 +136,7 @@ pub fn gas_walk_neighbors(
             }
             // Gather: reduce the edge tensor into per-vertex counts.
             let msg_tensor = Tensor::from_vec(e.max(1), 1, edge_messages);
-            let visit_tensor = scatter_add(&msg_tensor, &dst_edge_order, n.max(1));
+            let visit_tensor = scatter_add_with_plan(&msg_tensor, &stage_plan);
             std::hint::black_box(&visit_tensor);
         }
     }

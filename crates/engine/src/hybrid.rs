@@ -19,7 +19,8 @@ use flexgraph_hdg::Hdg;
 use flexgraph_tensor::autograd::reduce_row_blocks;
 use flexgraph_tensor::fusion::{materialized_bytes, segment_reduce, Reduce};
 use flexgraph_tensor::scatter::{
-    gather_rows, scatter_add, scatter_max, scatter_mean, scatter_min, scatter_softmax,
+    gather_rows, scatter_add_with_plan, scatter_max_with_plan, scatter_mean_with_plan,
+    scatter_min_with_plan, scatter_softmax_with_plan, ScatterPlan,
 };
 use flexgraph_tensor::Tensor;
 
@@ -113,17 +114,17 @@ pub fn hierarchical_aggregate(
     let inst_feats = match strategy {
         Strategy::Sa => {
             // Materialize one row per (leaf, instance) edge, then scatter
-            // — the memory-explosion path of §4.2(1).
-            let (dst, src) = hdg.leaf_coo();
+            // — the memory-explosion path of §4.2(1). The scatter plan is
+            // cached on the HDG; only the gathered rows are transient.
+            let src = hdg.leaf_sources();
             let bytes = materialized_bytes(src.len(), d);
             peak = peak.max(bytes);
             budget.check(bytes)?;
-            let gathered = gather_rows(feats, &src);
+            let gathered = gather_rows(feats, src);
             apply_scatter(
                 plan.leaf_op,
                 &gathered,
-                &dst,
-                hdg.num_instances(),
+                &hdg.leaf_scatter_plan(),
                 &mut peak,
                 budget,
             )?
@@ -159,15 +160,13 @@ pub fn aggregate_from_instances(
     let mut peak = 0usize;
 
     // Instances → (root, type) groups — sparse NN ops in every strategy
-    // (§4.2(2)); this materializes the index array the compact storage
-    // omits.
-    let idx = hdg.instance_group_index();
-    peak = peak.max(idx.len() * std::mem::size_of::<u32>());
+    // (§4.2(2)). The group index the compact storage omits lives inside
+    // the HDG's cached scatter plan, materialized once for all layers
+    // and epochs rather than per pass.
     let group_feats = apply_scatter(
         plan.instance_op,
         inst_feats,
-        &idx,
-        hdg.num_groups(),
+        &hdg.group_scatter_plan(),
         &mut peak,
         budget,
     )?;
@@ -206,18 +205,13 @@ pub fn aggregate_from_groups(
                 let mean = matches!(plan.schema_op, AggrOp::Mean | AggrOp::AttnSoftmax);
                 reduce_row_blocks(&group_feats, t, mean)
             }
-            Strategy::Sa | Strategy::SaFa => {
-                let root_idx: Vec<u32> = (0..hdg.num_groups()).map(|g| (g / t) as u32).collect();
-                peak = peak.max(root_idx.len() * std::mem::size_of::<u32>());
-                apply_scatter(
-                    plan.schema_op,
-                    &group_feats,
-                    &root_idx,
-                    hdg.num_roots(),
-                    &mut peak,
-                    budget,
-                )?
-            }
+            Strategy::Sa | Strategy::SaFa => apply_scatter(
+                plan.schema_op,
+                &group_feats,
+                &hdg.root_scatter_plan(),
+                &mut peak,
+                budget,
+            )?,
         }
     };
 
@@ -247,12 +241,12 @@ pub fn direct_aggregate(
             peak_transient_bytes: 0,
         })
     } else {
-        let (dst, src) = graph.coo_in();
+        let (_, src) = graph.coo_in();
         let bytes = materialized_bytes(src.len(), feats.cols());
         budget.check(bytes)?;
         let gathered = gather_rows(feats, &src);
         let mut peak = bytes;
-        let features = apply_scatter(op, &gathered, &dst, graph.num_vertices(), &mut peak, budget)?;
+        let features = apply_scatter(op, &gathered, &graph.in_scatter_plan(), &mut peak, budget)?;
         Ok(AggrResult {
             features,
             peak_transient_bytes: peak,
@@ -263,21 +257,21 @@ pub fn direct_aggregate(
 fn apply_scatter(
     op: AggrOp,
     values: &Tensor,
-    idx: &[u32],
-    out_rows: usize,
+    plan: &ScatterPlan,
     peak: &mut usize,
     budget: &MemoryBudget,
 ) -> Result<Tensor, EngineError> {
     Ok(match op {
-        AggrOp::Sum => scatter_add(values, idx, out_rows),
-        AggrOp::Mean => scatter_mean(values, idx, out_rows),
-        AggrOp::Max => scatter_max(values, idx, out_rows),
-        AggrOp::Min => scatter_min(values, idx, out_rows),
+        AggrOp::Sum => scatter_add_with_plan(values, plan),
+        AggrOp::Mean => scatter_mean_with_plan(values, plan),
+        AggrOp::Max => scatter_max_with_plan(values, plan),
+        AggrOp::Min => scatter_min_with_plan(values, plan),
         AggrOp::AttnSoftmax => {
             // score_i = Σ_c values[i][c]; weights = group softmax; output
-            // = Σ w_i · values[i]. The weighted copy is a transient.
+            // = Σ w_i · values[i]. The weighted copy is a transient; both
+            // scatters reuse the same cached plan.
             let scores = values.sum_cols();
-            let w = scatter_softmax(&scores, idx, out_rows);
+            let w = scatter_softmax_with_plan(&scores, plan);
             let bytes = values.len() * std::mem::size_of::<f32>();
             *peak = (*peak).max(bytes);
             budget.check(bytes)?;
@@ -288,7 +282,7 @@ fn apply_scatter(
                     *x *= wv;
                 }
             }
-            scatter_add(&weighted, idx, out_rows)
+            scatter_add_with_plan(&weighted, plan)
         }
     })
 }

@@ -5,7 +5,9 @@
 //! forward traversals (random walks, metapath search, BFS). Both views are
 //! materialized once at build time and never mutated.
 
+use flexgraph_tensor::ScatterPlan;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Vertex identifier. `u32` matches the paper's billion-edge ambitions
 /// while halving index memory relative to `usize`.
@@ -20,6 +22,10 @@ pub struct Graph {
     /// CSC offsets: in-edges of `v` are `in_src[in_off[v]..in_off[v+1]]`.
     in_off: Vec<usize>,
     in_src: Vec<VertexId>,
+    /// Lazily built scatter plan over the in-edge COO (destinations =
+    /// vertices), shared by every scatter-based aggregation over this
+    /// graph. The adjacency is immutable, so the plan never invalidates.
+    in_plan: OnceLock<Arc<ScatterPlan>>,
 }
 
 impl fmt::Debug for Graph {
@@ -102,6 +108,19 @@ impl Graph {
     /// The CSC source array (see [`Graph::in_offsets`]).
     pub fn in_sources(&self) -> &[VertexId] {
         &self.in_src
+    }
+
+    /// Cached scatter plan over the in-edge COO: edge `e` (in
+    /// [`Graph::coo_in`] order) feeds destination `coo_in().0[e]`. Built
+    /// once on first use and reused by every layer/epoch of sparse
+    /// scatter aggregation over this graph.
+    pub fn in_scatter_plan(&self) -> Arc<ScatterPlan> {
+        self.in_plan
+            .get_or_init(|| {
+                let (dst, _) = self.coo_in();
+                Arc::new(ScatterPlan::new(&dst, self.num_vertices()))
+            })
+            .clone()
     }
 
     /// Approximate heap bytes of the adjacency arrays (memory harnesses).
@@ -205,6 +224,7 @@ impl GraphBuilder {
             out_dst,
             in_off,
             in_src,
+            in_plan: OnceLock::new(),
         }
     }
 }
@@ -315,6 +335,16 @@ mod tests {
         let (dst, src) = g.coo_in();
         assert_eq!(dst, vec![0, 2, 2]);
         assert_eq!(src, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn in_scatter_plan_is_cached_and_covers_edges() {
+        let g = graph_from_edges(3, &[(0, 2), (1, 2), (2, 0)]);
+        let p = g.in_scatter_plan();
+        assert_eq!(p.out_rows(), 3);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.index(), &g.coo_in().0[..]);
+        assert!(Arc::ptr_eq(&p, &g.in_scatter_plan()));
     }
 
     #[test]

@@ -125,6 +125,9 @@ impl HdgBuilder {
             group_off,
             inst_off,
             leaf_src,
+            leaf_plan: Default::default(),
+            group_plan: Default::default(),
+            root_plan: Default::default(),
         }
     }
 }

@@ -2,6 +2,8 @@
 
 use crate::schema::SchemaTree;
 use flexgraph_graph::VertexId;
+use flexgraph_tensor::ScatterPlan;
+use std::sync::{Arc, OnceLock};
 
 /// The frozen, compactly stored HDGs for all roots of one partition.
 ///
@@ -24,6 +26,13 @@ pub struct Hdg {
     pub(crate) inst_off: Vec<usize>,
     /// Leaf (input-graph) vertex ids, concatenated per instance.
     pub(crate) leaf_src: Vec<VertexId>,
+    /// Lazily built scatter plans for the three aggregation levels
+    /// (leaf→instance, instance→group, group→root). Built on first use
+    /// by a plan-based execution strategy and reused across layers and
+    /// epochs; fused strategies that never scatter pay nothing.
+    pub(crate) leaf_plan: OnceLock<Arc<ScatterPlan>>,
+    pub(crate) group_plan: OnceLock<Arc<ScatterPlan>>,
+    pub(crate) root_plan: OnceLock<Arc<ScatterPlan>>,
 }
 
 impl Hdg {
@@ -144,6 +153,45 @@ impl Hdg {
         (dst, self.leaf_src.clone())
     }
 
+    /// Cached scatter plan of the leaf→instance level: one edge per
+    /// entry of [`Hdg::leaf_sources`], destinations = instance ranks.
+    /// Built once on first use (the COO destination index is exactly
+    /// `leaf_coo().0`) and shared by every layer and epoch of a
+    /// scatter-based execution.
+    pub fn leaf_scatter_plan(&self) -> Arc<ScatterPlan> {
+        self.leaf_plan
+            .get_or_init(|| {
+                let (dst, _) = self.leaf_coo();
+                Arc::new(ScatterPlan::new(&dst, self.num_instances()))
+            })
+            .clone()
+    }
+
+    /// Cached scatter plan of the instance→group level (destinations =
+    /// `(root, type)` groups, index = [`Hdg::instance_group_index`]).
+    pub fn group_scatter_plan(&self) -> Arc<ScatterPlan> {
+        self.group_plan
+            .get_or_init(|| {
+                Arc::new(ScatterPlan::new(
+                    &self.instance_group_index(),
+                    self.num_groups(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Cached scatter plan of the group→root level (group `g` feeds root
+    /// `g / num_types`).
+    pub fn root_scatter_plan(&self) -> Arc<ScatterPlan> {
+        self.root_plan
+            .get_or_init(|| {
+                let t = self.num_types();
+                let idx: Vec<u32> = (0..self.num_groups()).map(|g| (g / t) as u32).collect();
+                Arc::new(ScatterPlan::new(&idx, self.num_roots))
+            })
+            .clone()
+    }
+
     /// The distinct leaf vertices this HDG collection depends on — the
     /// vertices whose features must be present (locally or via sync)
     /// before aggregation (used by the distributed runtime).
@@ -181,6 +229,7 @@ impl Hdg {
 mod tests {
     use crate::build::{HdgBuilder, NeighborRecord};
     use crate::schema::SchemaTree;
+    use std::sync::Arc;
 
     /// The MAGNN HDG of the paper's Figures 3c / 9, rooted at vertex A
     /// (id 0): one MP1 instance (A,D,C) and four MP2 instances.
@@ -254,5 +303,24 @@ mod tests {
     fn compact_storage_beats_naive() {
         let h = paper_hdg();
         assert!(h.heap_bytes() < h.naive_bytes());
+    }
+
+    #[test]
+    fn level_plans_cover_each_level_once() {
+        let h = paper_hdg();
+        let leaf = h.leaf_scatter_plan();
+        assert_eq!(leaf.out_rows(), h.num_instances());
+        assert_eq!(leaf.num_edges(), h.leaf_sources().len());
+        let group = h.group_scatter_plan();
+        assert_eq!(group.out_rows(), h.num_groups());
+        assert_eq!(group.num_edges(), h.num_instances());
+        assert_eq!(group.index(), &h.instance_group_index()[..]);
+        let root = h.root_scatter_plan();
+        assert_eq!(root.out_rows(), h.num_roots());
+        assert_eq!(root.num_edges(), h.num_groups());
+        // Cached: the same Arc comes back on every call.
+        assert!(Arc::ptr_eq(&leaf, &h.leaf_scatter_plan()));
+        assert!(Arc::ptr_eq(&group, &h.group_scatter_plan()));
+        assert!(Arc::ptr_eq(&root, &h.root_scatter_plan()));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::train::Model;
 use flexgraph_graph::gen::Dataset;
-use flexgraph_tensor::{xavier_uniform, Graph, NodeId, ParamSet};
+use flexgraph_tensor::{xavier_uniform, Graph, NodeId, ParamSet, ScatterPlan};
 use std::sync::Arc;
 
 /// A two-layer gated GCN.
@@ -17,8 +17,12 @@ pub struct GGcn {
     hidden: usize,
     in_off: Arc<Vec<usize>>,
     in_src: Arc<Vec<u32>>,
-    /// COO destination index per in-edge (for the gated scatter path).
-    dst_idx: Vec<u32>,
+    /// Cached plan for the per-edge gathers (index = `in_src`,
+    /// destinations = vertices); doubles as the backward-scatter plan.
+    gather_plan: Option<Arc<ScatterPlan>>,
+    /// Cached plan for the destination scatter-add — the input graph's
+    /// in-edge plan, shared across both layers and every epoch.
+    dst_plan: Option<Arc<ScatterPlan>>,
     /// Parameter slots per layer: `(w_gate, w)`.
     slots: Vec<(usize, usize)>,
     dims: (usize, usize),
@@ -31,37 +35,33 @@ impl GGcn {
             hidden,
             in_off: Arc::new(Vec::new()),
             in_src: Arc::new(Vec::new()),
-            dst_idx: Vec::new(),
+            gather_plan: None,
+            dst_plan: None,
             slots: Vec::new(),
             dims: (in_dim, classes),
         }
     }
 
-    fn layer(
-        &self,
-        g: &mut Graph,
-        h: NodeId,
-        w_gate: NodeId,
-        w: NodeId,
-        n: usize,
-        relu_out: bool,
-    ) -> NodeId {
+    fn layer(&self, g: &mut Graph, h: NodeId, w_gate: NodeId, w: NodeId, relu_out: bool) -> NodeId {
+        let gather_plan = self.gather_plan.clone().expect("selection ran");
+        let dst_plan = self.dst_plan.clone().expect("selection ran");
         // Per-vertex scalar gates g_u = σ(h_u · w_gate) ∈ (0, 1)^{n×1}.
         let scores = g.matmul(h, w_gate);
         let gates = g.sigmoid(scores);
         // Gated messages: gather source rows and gates per edge, apply,
         // then reduce per destination. (The gating makes the per-edge
         // weight data-dependent, so the fused constant-weight kernel
-        // does not apply — this is the sparse path by necessity.)
-        let msg = g.gather(h, &self.in_src);
-        let edge_gate = g.gather(gates, &self.in_src);
+        // does not apply — this is the sparse path by necessity.) Both
+        // gathers and the scatter run through plans cached at selection.
+        let msg = g.gather_with_plan(h, gather_plan.clone());
+        let edge_gate = g.gather_with_plan(gates, gather_plan);
         // Broadcast the 1-column gate across the feature width through
         // matmul with a ones row: (E×1)·(1×d) = E×d.
         let d = g.value(h).cols();
         let ones_row = g.leaf(flexgraph_tensor::Tensor::ones(1, d));
         let gate_wide = g.matmul(edge_gate, ones_row);
         let gated = g.mul(msg, gate_wide);
-        let agg = g.scatter_add(gated, &self.dst_idx, n);
+        let agg = g.scatter_add_with_plan(gated, dst_plan);
         // Update: ReLU(W · (h + agg)).
         let s = g.add(h, agg);
         let out = g.matmul(s, w);
@@ -78,18 +78,18 @@ impl Model for GGcn {
         if self.in_off.is_empty() {
             self.in_off = Arc::new(ds.graph.in_offsets().to_vec());
             self.in_src = Arc::new(ds.graph.in_sources().to_vec());
-            let (dst, _src) = ds.graph.coo_in();
-            self.dst_idx = dst;
+            let n = ds.graph.num_vertices();
+            self.gather_plan = Some(Arc::new(ScatterPlan::new(&self.in_src, n)));
+            self.dst_plan = Some(ds.graph.in_scatter_plan());
         }
     }
 
     fn forward(&self, g: &mut Graph, feats: NodeId, params: &ParamSet) -> NodeId {
-        let n = g.value(feats).rows();
         let mut h = feats;
         for (li, &(wg, w)) in self.slots.iter().enumerate() {
             let wgn = g.param(params.value(wg).clone(), wg);
             let wn = g.param(params.value(w).clone(), w);
-            h = self.layer(g, h, wgn, wn, n, li + 1 < self.slots.len());
+            h = self.layer(g, h, wgn, wn, li + 1 < self.slots.len());
         }
         h
     }

@@ -13,7 +13,7 @@ use crate::train::Model;
 use flexgraph_graph::gen::Dataset;
 use flexgraph_graph::metapath::Metapath;
 use flexgraph_hdg::build::from_metapaths;
-use flexgraph_tensor::{xavier_uniform, Graph, NodeId, ParamSet};
+use flexgraph_tensor::{xavier_uniform, Graph, NodeId, ParamSet, ScatterPlan};
 use std::sync::Arc;
 
 /// A two-layer MAGNN.
@@ -31,9 +31,10 @@ pub struct Magnn {
     leaf_src: Arc<Vec<u32>>,
     group_off: Arc<Vec<usize>>,
     inst_ranks: Arc<Vec<u32>>,
-    /// Group index of each instance (the omitted `Dst` array,
-    /// rematerialized once for the sparse attention ops).
-    group_idx: Vec<u32>,
+    /// Cached scatter plan over the instance → group index (the omitted
+    /// `Dst` array), shared by the attention softmax and the weighted
+    /// sum of both layers, every epoch.
+    group_plan: Option<Arc<ScatterPlan>>,
     num_groups: usize,
     num_types: usize,
     w1: usize,
@@ -62,7 +63,7 @@ impl Magnn {
             leaf_src: Arc::new(Vec::new()),
             group_off: Arc::new(Vec::new()),
             inst_ranks: Arc::new(Vec::new()),
-            group_idx: Vec::new(),
+            group_plan: None,
             num_groups: 0,
             num_types,
             w1: usize::MAX,
@@ -78,9 +79,10 @@ impl Magnn {
         // …instances → metapath types: attention-weighted sum (Figure
         // 7's scatter_softmax) or a plain segment mean…
         let groups = if self.attention {
-            let weights = g.scatter_softmax(inst, &self.group_idx, self.num_groups);
+            let plan = self.group_plan.clone().expect("selection ran");
+            let weights = g.scatter_softmax_with_plan(inst, plan.clone());
             let weighted = g.mul(weights, inst);
-            g.scatter_add(weighted, &self.group_idx, self.num_groups)
+            g.scatter_add_with_plan(weighted, plan)
         } else {
             g.segment_reduce(inst, self.group_off.clone(), self.inst_ranks.clone(), true)
         };
@@ -109,7 +111,7 @@ impl Model for Magnn {
         self.leaf_src = Arc::new(hdg.leaf_sources().to_vec());
         self.group_off = Arc::new(hdg.group_offsets().to_vec());
         self.inst_ranks = Arc::new((0..hdg.num_instances() as u32).collect());
-        self.group_idx = hdg.instance_group_index();
+        self.group_plan = Some(hdg.group_scatter_plan());
         self.num_groups = hdg.num_groups();
         self.built = true;
     }

@@ -13,7 +13,10 @@
 //! loss.
 
 use crate::fusion::{segment_reduce, segment_reduce_backward, Reduce};
-use crate::scatter::{gather_rows, index_counts, scatter_add, scatter_mean};
+use crate::scatter::{
+    gather_rows, scatter_add_with_plan, scatter_mean_with_plan, scatter_softmax_with_plan,
+    ScatterPlan,
+};
 use crate::tensor::Tensor;
 use std::sync::Arc;
 
@@ -44,14 +47,17 @@ enum Op {
     Sigmoid(NodeId),
     /// `[a | b]` horizontal concatenation.
     ConcatCols(NodeId, NodeId),
-    /// Row gather: output row `i` is `a[idx[i]]`.
-    Gather(NodeId, Vec<u32>),
-    /// Scatter-add of rows (the destination count is only needed forward).
-    ScatterAdd(NodeId, Vec<u32>),
-    /// Scatter-mean of rows into `out_rows` destinations.
-    ScatterMean(NodeId, Vec<u32>, usize),
+    /// Row gather: output row `i` is `a[plan.index()[i]]`. The plan is
+    /// over the gather index with `a`'s row count as destination space,
+    /// which is exactly the scatter plan the backward needs.
+    Gather(NodeId, Arc<ScatterPlan>),
+    /// Scatter-add of rows; the plan carries the destination grouping
+    /// for both directions (backward is a gather by `plan.index()`).
+    ScatterAdd(NodeId, Arc<ScatterPlan>),
+    /// Scatter-mean of rows; segment lengths come from the plan.
+    ScatterMean(NodeId, Arc<ScatterPlan>),
     /// Per-group softmax over rows sharing a destination index.
-    ScatterSoftmax(NodeId, Vec<u32>, usize),
+    ScatterSoftmax(NodeId, Arc<ScatterPlan>),
     /// Fused segment reduce (feature fusion): `Arc`'d index arrays avoid
     /// copying edge-scale data onto the tape.
     SegmentReduce {
@@ -171,22 +177,47 @@ impl Graph {
         self.push(v, Op::ConcatCols(a, b))
     }
 
-    /// Row gather (differentiable indexing).
+    /// Row gather (differentiable indexing). Builds a one-shot plan for
+    /// the backward scatter; callers that gather with the same index
+    /// every step should cache a plan (over `idx` with `a`'s row count
+    /// as destinations) and use [`Graph::gather_with_plan`].
     pub fn gather(&mut self, a: NodeId, idx: &[u32]) -> NodeId {
-        let v = gather_rows(self.value(a), idx);
-        self.push(v, Op::Gather(a, idx.to_vec()))
+        let plan = Arc::new(ScatterPlan::new(idx, self.value(a).rows()));
+        self.gather_with_plan(a, plan)
+    }
+
+    /// [`Graph::gather`] reusing a cached plan (built over the gather
+    /// index with the source row count as destination space).
+    pub fn gather_with_plan(&mut self, a: NodeId, plan: Arc<ScatterPlan>) -> NodeId {
+        assert_eq!(
+            self.value(a).rows(),
+            plan.out_rows(),
+            "gather plan must cover the source rows"
+        );
+        let v = gather_rows(self.value(a), plan.index());
+        self.push(v, Op::Gather(a, plan))
     }
 
     /// Differentiable scatter-add into `out_rows` destinations.
     pub fn scatter_add(&mut self, a: NodeId, idx: &[u32], out_rows: usize) -> NodeId {
-        let v = scatter_add(self.value(a), idx, out_rows);
-        self.push(v, Op::ScatterAdd(a, idx.to_vec()))
+        self.scatter_add_with_plan(a, Arc::new(ScatterPlan::new(idx, out_rows)))
+    }
+
+    /// [`Graph::scatter_add`] reusing a cached plan.
+    pub fn scatter_add_with_plan(&mut self, a: NodeId, plan: Arc<ScatterPlan>) -> NodeId {
+        let v = scatter_add_with_plan(self.value(a), &plan);
+        self.push(v, Op::ScatterAdd(a, plan))
     }
 
     /// Differentiable scatter-mean into `out_rows` destinations.
     pub fn scatter_mean(&mut self, a: NodeId, idx: &[u32], out_rows: usize) -> NodeId {
-        let v = scatter_mean(self.value(a), idx, out_rows);
-        self.push(v, Op::ScatterMean(a, idx.to_vec(), out_rows))
+        self.scatter_mean_with_plan(a, Arc::new(ScatterPlan::new(idx, out_rows)))
+    }
+
+    /// [`Graph::scatter_mean`] reusing a cached plan.
+    pub fn scatter_mean_with_plan(&mut self, a: NodeId, plan: Arc<ScatterPlan>) -> NodeId {
+        let v = scatter_mean_with_plan(self.value(a), &plan);
+        self.push(v, Op::ScatterMean(a, plan))
     }
 
     /// Differentiable scatter-softmax: rows sharing a destination index
@@ -194,8 +225,13 @@ impl Graph {
     /// normalization of the paper's MAGNN Figure 7, `scatter_softmax`).
     /// Output has the shape of `a`.
     pub fn scatter_softmax(&mut self, a: NodeId, idx: &[u32], out_rows: usize) -> NodeId {
-        let v = crate::scatter::scatter_softmax(self.value(a), idx, out_rows);
-        self.push(v, Op::ScatterSoftmax(a, idx.to_vec(), out_rows))
+        self.scatter_softmax_with_plan(a, Arc::new(ScatterPlan::new(idx, out_rows)))
+    }
+
+    /// [`Graph::scatter_softmax`] reusing a cached plan.
+    pub fn scatter_softmax_with_plan(&mut self, a: NodeId, plan: Arc<ScatterPlan>) -> NodeId {
+        let v = scatter_softmax_with_plan(self.value(a), &plan);
+        self.push(v, Op::ScatterSoftmax(a, plan))
     }
 
     /// Differentiable *fused* segment reduction (feature fusion, paper
@@ -330,35 +366,35 @@ impl Graph {
                 self.add_grad(*a, ga);
                 self.add_grad(*b, gb);
             }
-            Op::Gather(a, idx) => {
-                // Adjoint of gather is scatter-add back to the source rows.
-                let rows = self.value(*a).rows();
-                self.add_grad(*a, scatter_add(grad, idx, rows));
+            Op::Gather(a, plan) => {
+                // Adjoint of gather is scatter-add back to the source rows;
+                // the forward plan (index over `a`'s rows) is exactly the
+                // backward scatter's plan.
+                self.add_grad(*a, scatter_add_with_plan(grad, plan));
             }
-            Op::ScatterAdd(a, idx) => {
+            Op::ScatterAdd(a, plan) => {
                 // Adjoint of scatter-add is gather from the destinations.
-                self.add_grad(*a, gather_rows(grad, idx));
+                self.add_grad(*a, gather_rows(grad, plan.index()));
             }
-            Op::ScatterMean(a, idx, out_rows) => {
-                let counts = index_counts(idx, *out_rows);
-                let mut g = gather_rows(grad, idx);
-                for (r, &dst) in idx.iter().enumerate() {
-                    let c = counts[dst as usize].max(1) as f32;
+            Op::ScatterMean(a, plan) => {
+                let mut g = gather_rows(grad, plan.index());
+                for (r, &dst) in plan.index().iter().enumerate() {
+                    let c = plan.count(dst as usize).max(1) as f32;
                     for x in g.row_mut(r) {
                         *x /= c;
                     }
                 }
                 self.add_grad(*a, g);
             }
-            Op::ScatterSoftmax(a, idx, out_rows) => {
+            Op::ScatterSoftmax(a, plan) => {
                 // Per-group softmax Jacobian: with s = softmax(x) within a
                 // group, dx[i] = s[i] · (g[i] − Σ_j g[j]·s[j]) where the
                 // sum runs over the group.
                 let s = self.value(NodeId(i)).clone();
                 let weighted = grad.mul(&s);
-                let group_sums = scatter_add(&weighted, idx, *out_rows);
+                let group_sums = scatter_add_with_plan(&weighted, plan);
                 let mut gin = grad.clone();
-                for (r, &dst) in idx.iter().enumerate() {
+                for (r, &dst) in plan.index().iter().enumerate() {
                     let gs: Vec<f32> = group_sums.row(dst as usize).to_vec();
                     let srow: Vec<f32> = s.row(r).to_vec();
                     let row = gin.row_mut(r);

@@ -45,13 +45,34 @@ fn check(feats: &Tensor, offsets: &[usize], src: &[u32]) {
     }
 }
 
-/// Fused segment reduction: output row `i` reduces
-/// `feats[src[offsets[i]..offsets[i+1]]]` without materializing them.
-pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Reduce) -> Tensor {
-    check(feats, offsets, src);
+/// The shared destination-owned segment kernel behind both the fused
+/// [`segment_reduce`] path and the planned scatter kernels in
+/// [`crate::scatter`].
+///
+/// `out` must have `offsets.len() - 1` rows. Edge positions
+/// `offsets[i]..offsets[i+1]` feed output row `i`; `row_of(e)` resolves
+/// edge position `e` to its source feature row (a direct feature read
+/// for fusion, a permuted value-row read for planned scatter, a
+/// gathered read for the distributed fold). Each output row is reduced
+/// by exactly one thread, in ascending edge-position order, so the
+/// result is race-free and bitwise-deterministic for any thread count.
+///
+/// `Sum` accumulates into `out`'s existing content; `Mean`/`Max`/`Min`
+/// assume a zeroed `out` (empty segments stay zero).
+pub(crate) fn segment_apply_into<'a, F>(
+    out: &mut Tensor,
+    offsets: &[usize],
+    kind: Reduce,
+    row_of: F,
+) where
+    F: Fn(usize) -> &'a [f32] + Sync,
+{
     let n = offsets.len() - 1;
-    let d = feats.cols();
-    let mut out = Tensor::zeros(n, d);
+    let d = out.cols();
+    debug_assert_eq!(out.rows(), n, "one output row per segment");
+    if d == 0 {
+        return;
+    }
     parallel_for(n, out.data_mut(), d, |seg0, chunk| {
         for (si, orow) in chunk.chunks_mut(d).enumerate() {
             let seg = seg0 + si;
@@ -59,8 +80,8 @@ pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Redu
             let hi = offsets[seg + 1];
             match kind {
                 Reduce::Sum | Reduce::Mean => {
-                    for &s in &src[lo..hi] {
-                        let srow = feats.row(s as usize);
+                    for e in lo..hi {
+                        let srow = row_of(e);
                         for (o, &x) in orow.iter_mut().zip(srow) {
                             *o += x;
                         }
@@ -84,8 +105,8 @@ pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Redu
                     for o in orow.iter_mut() {
                         *o = init;
                     }
-                    for &s in &src[lo..hi] {
-                        let srow = feats.row(s as usize);
+                    for e in lo..hi {
+                        let srow = row_of(e);
                         for (o, &x) in orow.iter_mut().zip(srow) {
                             *o = if kind == Reduce::Max {
                                 o.max(x)
@@ -98,6 +119,15 @@ pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Redu
             }
         }
     });
+}
+
+/// Fused segment reduction: output row `i` reduces
+/// `feats[src[offsets[i]..offsets[i+1]]]` without materializing them.
+pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Reduce) -> Tensor {
+    check(feats, offsets, src);
+    let n = offsets.len() - 1;
+    let mut out = Tensor::zeros(n, feats.cols());
+    segment_apply_into(&mut out, offsets, kind, |e| feats.row(src[e] as usize));
     out
 }
 

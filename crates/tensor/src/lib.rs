@@ -42,7 +42,10 @@ pub use autograd::{Graph, NodeId};
 pub use fusion::{segment_reduce, Reduce};
 pub use init::xavier_uniform;
 pub use optim::{Adam, Optimizer, ParamSet, Sgd};
+pub use par::{num_threads, set_thread_override};
 pub use scatter::{
-    gather_rows, scatter_add, scatter_max, scatter_mean, scatter_min, scatter_softmax,
+    gather_rows, scatter_add, scatter_add_gathered_into, scatter_add_with_plan, scatter_max,
+    scatter_max_with_plan, scatter_mean, scatter_mean_with_plan, scatter_min,
+    scatter_min_with_plan, scatter_softmax, scatter_softmax_with_plan, ScatterPlan,
 };
 pub use tensor::Tensor;

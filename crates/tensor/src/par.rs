@@ -6,15 +6,36 @@
 //! disjoint row chunks and hand each chunk to a crossbeam scoped thread,
 //! keeping the inner per-row loops simple and auto-vectorizable.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// Process-wide thread-count override; 0 means "use the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the thread count of all parallel kernels at runtime
+/// (`Some(n)` forces `n`, `None` restores the `FLEXGRAPH_THREADS` /
+/// auto-detected default).
+///
+/// Exists so tests and benches can sweep thread counts within one
+/// process — the environment variable is latched once. Changing the
+/// count mid-flight is harmless by construction: every kernel is
+/// bitwise-deterministic in the thread count.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
 
 /// Number of compute threads used by parallel kernels.
 ///
 /// Defaults to the machine's available parallelism, capped at 16 (the
 /// paper's per-machine worker count is far larger, but our graphs are
 /// laptop-scale and oversubscription hurts). Override with the
-/// `FLEXGRAPH_THREADS` environment variable.
+/// `FLEXGRAPH_THREADS` environment variable, or per-process with
+/// [`set_thread_override`].
 pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         if let Ok(s) = std::env::var("FLEXGRAPH_THREADS") {

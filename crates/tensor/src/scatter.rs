@@ -1,4 +1,5 @@
-//! Sparse scatter reductions and row gather.
+//! Sparse scatter reductions and row gather, executed through cached
+//! [`ScatterPlan`]s.
 //!
 //! These are the tensor-level primitives that GAS-like GNN frameworks use
 //! for neighborhood aggregation (paper §3.3, Figure 8): a `value` tensor
@@ -7,10 +8,400 @@
 //! row. The paper's "SA" baseline strategy (§7.5) is built exactly from
 //! these; FlexGraph's feature-fusion path avoids materializing the `value`
 //! tensor in the first place.
+//!
+//! # Plans
+//!
+//! The seed implementation walked the COO index edge-by-edge, which is
+//! inherently serial (multiple edges race on one destination row) and
+//! re-derives the destination grouping on every call. A [`ScatterPlan`]
+//! converts the COO index once into CSC-style form — per-destination
+//! segment `offsets` plus a stable edge permutation `perm` — after which
+//! every kernel is a *destination-owned parallel segment reduction*: each
+//! thread owns a disjoint range of destination rows, so there are no
+//! write races and no atomics, and each segment is still reduced in
+//! original edge order, so results are **bitwise identical** to the
+//! serial kernel for any `FLEXGRAPH_THREADS`. Plans are cached by the
+//! HDG/graph layers and reused across layers and epochs.
+//!
+//! The serial seed kernels are kept as `*_serial` references for tests
+//! and benchmarks.
 
+use crate::fusion::{segment_apply_into, Reduce};
+use crate::par::{num_threads, parallel_for, parallel_ranges};
 use crate::tensor::Tensor;
 
-fn check(values: &Tensor, index: &[u32], out_rows: usize) {
+/// Work threshold (in `f32` elements touched) below which kernels stay
+/// serial; mirrors the cutoff in [`crate::par::parallel_for`].
+const PAR_CUTOFF: usize = 16 * 1024;
+
+/// A reusable execution plan for scatter kernels over one COO index.
+///
+/// Holds the destination index itself (for backward gathers), the
+/// per-destination segment `offsets` (CSC-style), and the stable
+/// permutation `perm` grouping edge ids by destination while preserving
+/// original edge order within each destination. Building is `O(E +
+/// out_rows)`; once built, a plan serves every scatter kernel, the
+/// autograd backward, and the distributed partial-aggregation fold.
+#[derive(Clone)]
+pub struct ScatterPlan {
+    out_rows: usize,
+    index: Vec<u32>,
+    offsets: Vec<usize>,
+    perm: Vec<u32>,
+}
+
+impl ScatterPlan {
+    /// Builds a plan from a COO destination index via a stable counting
+    /// sort. Panics if any index is out of range, matching the eager
+    /// validation of the unplanned kernels.
+    pub fn new(index: &[u32], out_rows: usize) -> Self {
+        if let Some(&m) = index.iter().max() {
+            assert!(
+                (m as usize) < out_rows,
+                "scatter index {m} out of range for {out_rows} output rows"
+            );
+        }
+        let mut offsets = vec![0usize; out_rows + 1];
+        for &dst in index {
+            offsets[dst as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<usize> = offsets[..out_rows].to_vec();
+        let mut perm = vec![0u32; index.len()];
+        for (e, &dst) in index.iter().enumerate() {
+            let c = &mut cursor[dst as usize];
+            perm[*c] = e as u32;
+            *c += 1;
+        }
+        ScatterPlan {
+            out_rows,
+            index: index.to_vec(),
+            offsets,
+            perm,
+        }
+    }
+
+    /// Number of output (destination) rows.
+    pub fn out_rows(&self) -> usize {
+        self.out_rows
+    }
+
+    /// Number of edges (value rows) the plan covers.
+    pub fn num_edges(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The original COO destination index.
+    pub fn index(&self) -> &[u32] {
+        &self.index
+    }
+
+    /// Per-destination segment offsets (length `out_rows + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Edge ids grouped by destination, original edge order within each
+    /// destination.
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    /// Edge ids targeting destination `dst`, in original edge order.
+    pub fn segment(&self, dst: usize) -> &[u32] {
+        &self.perm[self.offsets[dst]..self.offsets[dst + 1]]
+    }
+
+    /// Number of edges targeting destination `dst`.
+    pub fn count(&self, dst: usize) -> usize {
+        self.offsets[dst + 1] - self.offsets[dst]
+    }
+
+    /// Bytes of heap this plan holds.
+    pub fn heap_bytes(&self) -> usize {
+        self.index.capacity() * std::mem::size_of::<u32>()
+            + self.perm.capacity() * std::mem::size_of::<u32>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+
+    fn check_values(&self, values: &Tensor) {
+        assert_eq!(
+            values.rows(),
+            self.num_edges(),
+            "scatter needs one index per value row"
+        );
+    }
+}
+
+impl std::fmt::Debug for ScatterPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterPlan")
+            .field("out_rows", &self.out_rows)
+            .field("num_edges", &self.index.len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planned kernels (parallel, destination-owned, bitwise-deterministic).
+// ---------------------------------------------------------------------
+
+/// Planned [`scatter_add`]: sums value rows per destination segment.
+pub fn scatter_add_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
+    plan.check_values(values);
+    let mut out = Tensor::zeros(plan.out_rows, values.cols());
+    segment_apply_into(&mut out, &plan.offsets, Reduce::Sum, |e| {
+        values.row(plan.perm[e] as usize)
+    });
+    out
+}
+
+/// Planned [`scatter_mean`].
+pub fn scatter_mean_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
+    plan.check_values(values);
+    let mut out = Tensor::zeros(plan.out_rows, values.cols());
+    segment_apply_into(&mut out, &plan.offsets, Reduce::Mean, |e| {
+        values.row(plan.perm[e] as usize)
+    });
+    out
+}
+
+/// Planned [`scatter_max`].
+pub fn scatter_max_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
+    scatter_extreme_with_plan(values, plan, Reduce::Max, f32::NEG_INFINITY)
+}
+
+/// Planned [`scatter_min`].
+pub fn scatter_min_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
+    scatter_extreme_with_plan(values, plan, Reduce::Min, f32::INFINITY)
+}
+
+fn scatter_extreme_with_plan(
+    values: &Tensor,
+    plan: &ScatterPlan,
+    kind: Reduce,
+    init: f32,
+) -> Tensor {
+    plan.check_values(values);
+    let mut out = Tensor::zeros(plan.out_rows, values.cols());
+    segment_apply_into(&mut out, &plan.offsets, kind, |e| {
+        values.row(plan.perm[e] as usize)
+    });
+    // The serial reference folds from a ±∞ sentinel and rewrites any
+    // surviving sentinel to zero; replicate that so results match
+    // elementwise even for infinite inputs. (Empty destinations are
+    // already zero on both paths.)
+    for x in out.data_mut() {
+        if *x == init {
+            *x = 0.0;
+        }
+    }
+    out
+}
+
+/// Fused gather+scatter-add: `out[d] += Σ src[edge_rows[e]]` over the
+/// plan's segment of `d`, without materializing the gathered rows.
+///
+/// This is the same destination-owned primitive the distributed
+/// pipeline's partial-aggregation fold uses: `plan` groups edges by
+/// destination slot and `edge_rows[e]` names the source row of edge `e`.
+/// Accumulates into `out` (callers zero it or fold into running sums).
+pub fn scatter_add_gathered_into(
+    out: &mut Tensor,
+    src: &Tensor,
+    edge_rows: &[u32],
+    plan: &ScatterPlan,
+) {
+    assert_eq!(
+        edge_rows.len(),
+        plan.num_edges(),
+        "scatter needs one source row per edge"
+    );
+    assert_eq!(out.rows(), plan.out_rows, "output rows must match plan");
+    segment_apply_into(out, &plan.offsets, Reduce::Sum, |e| {
+        src.row(edge_rows[plan.perm[e] as usize] as usize)
+    });
+}
+
+/// Planned [`scatter_softmax`].
+///
+/// The output is edge-shaped (one row per value row), so this kernel
+/// parallelizes over destination segments and writes each edge row
+/// through a shared pointer: safe because `perm` partitions the edge
+/// set — exactly one destination (hence one thread) owns each edge row.
+pub fn scatter_softmax_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
+    plan.check_values(values);
+    let d = values.cols();
+    let mut out = Tensor::zeros(values.rows(), d);
+    if d == 0 || values.rows() == 0 {
+        return out;
+    }
+    let shared = SharedRows {
+        ptr: out.data_mut().as_mut_ptr(),
+        cols: d,
+    };
+    let process = |range: std::ops::Range<usize>| {
+        let mut maxes = vec![0.0f32; d];
+        let mut sums = vec![0.0f32; d];
+        for dst in range {
+            let seg = plan.segment(dst);
+            if seg.is_empty() {
+                continue;
+            }
+            // Column max over the segment, in edge order, from the same
+            // -∞ sentinel (rewritten to 0 if it survives) as the serial
+            // reference — keeps elementwise parity on infinite inputs.
+            maxes.fill(f32::NEG_INFINITY);
+            for &e in seg {
+                for (m, &s) in maxes.iter_mut().zip(values.row(e as usize)) {
+                    *m = m.max(s);
+                }
+            }
+            for m in maxes.iter_mut() {
+                if *m == f32::NEG_INFINITY {
+                    *m = 0.0;
+                }
+            }
+            // Stabilized exponentials and their segment sums.
+            sums.fill(0.0);
+            for &e in seg {
+                // SAFETY: each edge row belongs to exactly one
+                // destination segment, and destinations are partitioned
+                // across threads, so this row is written by this thread
+                // only.
+                let row = unsafe { shared.row(e as usize) };
+                let src = values.row(e as usize);
+                for ((o, &s), (&m, z)) in row
+                    .iter_mut()
+                    .zip(src)
+                    .zip(maxes.iter().zip(sums.iter_mut()))
+                {
+                    *o = (s - m).exp();
+                    *z += *o;
+                }
+            }
+            // Normalize.
+            for &e in seg {
+                // SAFETY: as above.
+                let row = unsafe { shared.row(e as usize) };
+                for (x, &z) in row.iter_mut().zip(sums.iter()) {
+                    if z > 0.0 {
+                        *x /= z;
+                    }
+                }
+            }
+        }
+    };
+    if num_threads() <= 1 || plan.num_edges().saturating_mul(d) < PAR_CUTOFF {
+        process(0..plan.out_rows);
+    } else {
+        parallel_ranges(plan.out_rows, 1, process);
+    }
+    out
+}
+
+/// Shared mutable row view for kernels whose write pattern is a
+/// partition of rows proven disjoint by a [`ScatterPlan`].
+struct SharedRows {
+    ptr: *mut f32,
+    cols: usize,
+}
+
+unsafe impl Sync for SharedRows {}
+
+impl SharedRows {
+    /// # Safety
+    /// The caller must guarantee no two threads touch the same `r`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row(&self, r: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.ptr.add(r * self.cols), self.cols)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convenience wrappers: build a one-shot plan. Hot paths (engine, HDG,
+// autograd, pipeline) should cache the plan and call `*_with_plan`.
+// ---------------------------------------------------------------------
+
+fn one_shot_plan(values: &Tensor, index: &[u32], out_rows: usize) -> ScatterPlan {
+    assert_eq!(
+        values.rows(),
+        index.len(),
+        "scatter needs one index per value row"
+    );
+    ScatterPlan::new(index, out_rows)
+}
+
+/// Sums all value rows sharing a destination index (Figure 8 of the paper).
+///
+/// Output row `d` is `Σ values[i] for index[i] == d`; destinations that
+/// receive no rows stay zero.
+pub fn scatter_add(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_add_with_plan(values, &one_shot_plan(values, index, out_rows))
+}
+
+/// Per-destination arithmetic mean; empty destinations stay zero.
+pub fn scatter_mean(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_mean_with_plan(values, &one_shot_plan(values, index, out_rows))
+}
+
+/// Per-destination, per-column maximum; empty destinations stay zero
+/// (matching the convention of `pytorch_scatter` with a zero fill).
+pub fn scatter_max(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_max_with_plan(values, &one_shot_plan(values, index, out_rows))
+}
+
+/// Per-destination, per-column minimum; empty destinations stay zero.
+pub fn scatter_min(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_min_with_plan(values, &one_shot_plan(values, index, out_rows))
+}
+
+/// Softmax over value rows sharing a destination, per column.
+///
+/// The output has the shape of `values`: row `i`, column `c` becomes
+/// `exp(v[i][c]) / Σ exp(v[j][c])` over all `j` with `index[j] ==
+/// index[i]`. Used by MAGNN-style attention within one HDG level.
+pub fn scatter_softmax(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_softmax_with_plan(values, &one_shot_plan(values, index, out_rows))
+}
+
+/// Number of value rows targeting each destination.
+pub fn index_counts(index: &[u32], out_rows: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; out_rows];
+    for &i in index {
+        counts[i as usize] += 1;
+    }
+    counts
+}
+
+/// Gathers rows of `src` into a new tensor: output row `i` is
+/// `src[idx[i]]`. This is the materialization step of sparse aggregation —
+/// the memory-explosion path the paper's feature fusion removes. Parallel
+/// over output rows (each thread copies a disjoint row range).
+pub fn gather_rows(src: &Tensor, idx: &[u32]) -> Tensor {
+    let d = src.cols();
+    let mut out = Tensor::zeros(idx.len(), d);
+    if d == 0 {
+        return out;
+    }
+    parallel_for(idx.len(), out.data_mut(), d, |r0, chunk| {
+        for (i, orow) in chunk.chunks_mut(d).enumerate() {
+            orow.copy_from_slice(src.row(idx[r0 + i] as usize));
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// Serial reference kernels (the seed implementations, edge-order COO
+// walks). Kept as the ground truth that the planned parallel kernels
+// are bitwise-compared against, and as the baseline the scatter bench
+// measures speedups over.
+// ---------------------------------------------------------------------
+
+fn check_serial(values: &Tensor, index: &[u32], out_rows: usize) {
     assert_eq!(
         values.rows(),
         index.len(),
@@ -24,18 +415,14 @@ fn check(values: &Tensor, index: &[u32], out_rows: usize) {
     }
 }
 
-/// Sums all value rows sharing a destination index (Figure 8 of the paper).
-///
-/// Output row `d` is `Σ values[i] for index[i] == d`; destinations that
-/// receive no rows stay zero.
-pub fn scatter_add(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
-    check(values, index, out_rows);
+/// Serial reference for [`scatter_add`]: single-threaded edge-order walk.
+pub fn scatter_add_serial(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    check_serial(values, index, out_rows);
     let d = values.cols();
     let mut out = Tensor::zeros(out_rows, d);
     for (i, &dst) in index.iter().enumerate() {
-        let dst = dst as usize;
         let src = values.row(i);
-        let o = out.row_mut(dst);
+        let o = out.row_mut(dst as usize);
         for (o, &s) in o.iter_mut().zip(src) {
             *o += s;
         }
@@ -43,9 +430,9 @@ pub fn scatter_add(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
     out
 }
 
-/// Per-destination arithmetic mean; empty destinations stay zero.
-pub fn scatter_mean(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
-    let mut out = scatter_add(values, index, out_rows);
+/// Serial reference for [`scatter_mean`].
+pub fn scatter_mean_serial(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    let mut out = scatter_add_serial(values, index, out_rows);
     let counts = index_counts(index, out_rows);
     for (r, &c) in counts.iter().enumerate() {
         if c > 0 {
@@ -58,25 +445,24 @@ pub fn scatter_mean(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
     out
 }
 
-/// Per-destination, per-column maximum; empty destinations stay zero
-/// (matching the convention of `pytorch_scatter` with a zero fill).
-pub fn scatter_max(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
-    scatter_extreme(values, index, out_rows, f32::NEG_INFINITY, f32::max)
+/// Serial reference for [`scatter_max`].
+pub fn scatter_max_serial(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_extreme_serial(values, index, out_rows, f32::NEG_INFINITY, f32::max)
 }
 
-/// Per-destination, per-column minimum; empty destinations stay zero.
-pub fn scatter_min(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
-    scatter_extreme(values, index, out_rows, f32::INFINITY, f32::min)
+/// Serial reference for [`scatter_min`].
+pub fn scatter_min_serial(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    scatter_extreme_serial(values, index, out_rows, f32::INFINITY, f32::min)
 }
 
-fn scatter_extreme(
+fn scatter_extreme_serial(
     values: &Tensor,
     index: &[u32],
     out_rows: usize,
     init: f32,
     pick: impl Fn(f32, f32) -> f32,
 ) -> Tensor {
-    check(values, index, out_rows);
+    check_serial(values, index, out_rows);
     let d = values.cols();
     let mut out = Tensor::full(out_rows, d, init);
     for (i, &dst) in index.iter().enumerate() {
@@ -95,16 +481,12 @@ fn scatter_extreme(
     out
 }
 
-/// Softmax over value rows sharing a destination, per column.
-///
-/// The output has the shape of `values`: row `i`, column `c` becomes
-/// `exp(v[i][c]) / Σ exp(v[j][c])` over all `j` with `index[j] ==
-/// index[i]`. Used by MAGNN-style attention within one HDG level.
-pub fn scatter_softmax(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
-    check(values, index, out_rows);
+/// Serial reference for [`scatter_softmax`].
+pub fn scatter_softmax_serial(values: &Tensor, index: &[u32], out_rows: usize) -> Tensor {
+    check_serial(values, index, out_rows);
     let d = values.cols();
     // Stabilize per destination group with the column max.
-    let maxes = scatter_extreme(values, index, out_rows, f32::NEG_INFINITY, f32::max);
+    let maxes = scatter_extreme_serial(values, index, out_rows, f32::NEG_INFINITY, f32::max);
     let mut exp = Tensor::zeros(values.rows(), d);
     for (i, &dst) in index.iter().enumerate() {
         let m = maxes.row(dst as usize);
@@ -114,7 +496,7 @@ pub fn scatter_softmax(values: &Tensor, index: &[u32], out_rows: usize) -> Tenso
             *o = (s - mx).exp();
         }
     }
-    let sums = scatter_add(&exp, index, out_rows);
+    let sums = scatter_add_serial(&exp, index, out_rows);
     for (i, &dst) in index.iter().enumerate() {
         let z = sums.row(dst as usize).to_vec();
         let row = exp.row_mut(i);
@@ -127,19 +509,8 @@ pub fn scatter_softmax(values: &Tensor, index: &[u32], out_rows: usize) -> Tenso
     exp
 }
 
-/// Number of value rows targeting each destination.
-pub fn index_counts(index: &[u32], out_rows: usize) -> Vec<u32> {
-    let mut counts = vec![0u32; out_rows];
-    for &i in index {
-        counts[i as usize] += 1;
-    }
-    counts
-}
-
-/// Gathers rows of `src` into a new tensor: output row `i` is
-/// `src[idx[i]]`. This is the materialization step of sparse aggregation —
-/// the memory-explosion path the paper's feature fusion removes.
-pub fn gather_rows(src: &Tensor, idx: &[u32]) -> Tensor {
+/// Serial reference for [`gather_rows`].
+pub fn gather_rows_serial(src: &Tensor, idx: &[u32]) -> Tensor {
     let d = src.cols();
     let mut out = Tensor::zeros(idx.len(), d);
     for (i, &s) in idx.iter().enumerate() {
@@ -154,6 +525,19 @@ mod tests {
 
     fn vals() -> Tensor {
         Tensor::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0], &[4.0, 40.0]])
+    }
+
+    #[test]
+    fn plan_groups_edges_by_destination_in_edge_order() {
+        let plan = ScatterPlan::new(&[2, 0, 2, 1, 0], 4);
+        assert_eq!(plan.out_rows(), 4);
+        assert_eq!(plan.num_edges(), 5);
+        assert_eq!(plan.segment(0), &[1, 4], "edge order preserved");
+        assert_eq!(plan.segment(1), &[3]);
+        assert_eq!(plan.segment(2), &[0, 2]);
+        assert_eq!(plan.segment(3), &[] as &[u32]);
+        assert_eq!(plan.count(2), 2);
+        assert_eq!(plan.offsets(), &[0, 2, 3, 5, 5]);
     }
 
     #[test]
@@ -230,7 +614,73 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn plan_rejects_out_of_range_index() {
+        let _ = ScatterPlan::new(&[0, 5], 3);
+    }
+
+    #[test]
     fn index_counts_counts() {
         assert_eq!(index_counts(&[0, 2, 2, 2], 4), vec![1, 0, 3, 0]);
+    }
+
+    #[test]
+    fn planned_kernels_are_bitwise_equal_to_serial_references() {
+        // Skewed index with empty destinations, reused plan.
+        let rows = 97;
+        let d = 5;
+        let values = Tensor::from_vec(
+            rows,
+            d,
+            (0..rows * d)
+                .map(|i| ((i * 37) % 23) as f32 - 11.0)
+                .collect(),
+        );
+        let index: Vec<u32> = (0..rows as u32).map(|i| (i * i) % 13).collect();
+        let out_rows = 17; // destinations 13..17 are empty
+        let plan = ScatterPlan::new(&index, out_rows);
+        let pairs: [(Tensor, Tensor); 4] = [
+            (
+                scatter_add_with_plan(&values, &plan),
+                scatter_add_serial(&values, &index, out_rows),
+            ),
+            (
+                scatter_mean_with_plan(&values, &plan),
+                scatter_mean_serial(&values, &index, out_rows),
+            ),
+            (
+                scatter_max_with_plan(&values, &plan),
+                scatter_max_serial(&values, &index, out_rows),
+            ),
+            (
+                scatter_min_with_plan(&values, &plan),
+                scatter_min_serial(&values, &index, out_rows),
+            ),
+        ];
+        for (planned, serial) in &pairs {
+            assert_eq!(planned, serial);
+        }
+        let sm = scatter_softmax_with_plan(&values, &plan);
+        assert_eq!(&sm, &scatter_softmax_serial(&values, &index, out_rows));
+    }
+
+    #[test]
+    fn gathered_fold_matches_gather_then_scatter() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        // Edge e reads src[edge_rows[e]] and lands in slot index[e].
+        let edge_rows = [2u32, 0, 1, 2];
+        let index = [1u32, 0, 1, 1];
+        let plan = ScatterPlan::new(&index, 2);
+        let mut out = Tensor::zeros(2, 2);
+        scatter_add_gathered_into(&mut out, &src, &edge_rows, &plan);
+        let reference = scatter_add_serial(&gather_rows_serial(&src, &edge_rows), &index, 2);
+        assert_eq!(out, reference);
+        // Accumulation semantics: a second fold doubles the result.
+        scatter_add_gathered_into(&mut out, &src, &edge_rows, &plan);
+        let mut doubled = reference.clone();
+        for x in doubled.data_mut() {
+            *x *= 2.0;
+        }
+        assert_eq!(out, doubled);
     }
 }

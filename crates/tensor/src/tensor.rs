@@ -277,10 +277,14 @@ impl Tensor {
             for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
                 let r = r0 + ri;
                 let arow = &a[r * k..(r + 1) * k];
+                // All-zero rows (isolated vertices, padded batches) are
+                // common enough to test for, but a per-element zero test
+                // inside the hot loop defeats the multiply-accumulate
+                // vectorization — check once per row instead.
+                if arow.iter().all(|&av| av == 0.0) {
+                    continue;
+                }
                 for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
                     let brow = &b[kk * n..(kk + 1) * n];
                     for (o, &bv) in out_row.iter_mut().zip(brow) {
                         *o += av * bv;

@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of the `bytes` crate this workspace
+//! uses: [`Bytes`] (cheaply cloneable immutable buffer), [`BytesMut`]
+//! (growable builder), and the [`Buf`] / [`BufMut`] cursor traits.
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice (copied here; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self::from_arc(Arc::from(s))
+    }
+
+    /// Copies `s` into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Self::from_arc(Arc::from(s))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
+    /// Returns a zero-copy sub-slice of this buffer.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && self.start + range.end <= self.end,
+            "slice out of bounds"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_arc(v.into())
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::from_arc(Arc::from(&[][..]))
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer for building payloads.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Read cursor over a byte buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `f32`, advancing the cursor.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let b = &self.data[self.start..self.start + 4];
+        self.start += 4;
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, n: u32);
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, x: f32);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, x: f32) {
+        self.put_u32_le(x.to_bits());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32_f32() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(7);
+        b.put_f32_le(1.5);
+        b.put_slice(&[9, 9]);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 10);
+        assert_eq!(frozen.get_u32_le(), 7);
+        assert_eq!(frozen.get_f32_le(), 1.5);
+        assert_eq!(frozen.remaining(), 2);
+        assert_eq!(frozen.as_ref(), &[9, 9]);
+    }
+
+    #[test]
+    fn slice_and_eq() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4]);
+        let s = b.slice(1..3);
+        assert_eq!(s.as_ref(), &[2, 3]);
+        assert_eq!(s.to_vec(), vec![2, 3]);
+        assert_eq!(b, Bytes::copy_from_slice(&[1, 2, 3, 4]));
+        assert_eq!(Bytes::from_static(b"xy").len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace
+//! uses: a `Mutex` whose `lock()` does not return a poison `Result`.
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutex with `parking_lot`'s panic-free `lock()` signature, backed
+/// by `std::sync::Mutex` (poisoning is ignored, as parking_lot does).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() = 5;
+        assert_eq!(*m.lock(), 5);
+    }
+}
