@@ -1,0 +1,119 @@
+//! Fault-injection overhead: epoch cost with and without a stress chaos
+//! schedule.
+//!
+//! Runs the same distributed epoch fault-free and under
+//! `ChaosSchedule::stress` (drops + duplicates + reorder + delay),
+//! verifies the outputs are **bitwise identical** — the chaos suite's
+//! headline invariant — and reports the wall-clock overhead the
+//! reliable-delivery layer pays for retransmission timeouts, dedup, and
+//! reorder absorption. Emits `BENCH_chaos.json` in the current
+//! directory.
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25); thread count with
+//! `FLEXGRAPH_THREADS`.
+
+use flexgraph::comm::{ChaosSchedule, RetryPolicy};
+use flexgraph::dist::{distributed_epoch, make_shards, DistConfig, DistMode, EpochReport};
+use flexgraph::graph::gen::community;
+use flexgraph::graph::partition::hash_partition;
+use flexgraph::hdg::build::from_direct_neighbors;
+use flexgraph::prelude::*;
+use flexgraph_bench::bench_scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const K: usize = 4;
+const REPS: usize = 3;
+
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Best-of-`REPS` epoch, returning the last report for its counters.
+fn measure(ds: &Dataset, shards: &[Shard], cfg: &DistConfig) -> (f64, EpochReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let rep = distributed_epoch(&ds.graph, shards, cfg);
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(rep);
+    }
+    (best, last.expect("REPS >= 1"))
+}
+
+fn main() {
+    let scale = bench_scale().0;
+    let n = ((4_000.0 * scale) as usize).max(200);
+    let ds = community(n, 4, 8, 2, 16, 29);
+    let part = hash_partition(&ds.graph, K);
+    let shards = make_shards(n, &ds.features, &part, |r| {
+        from_direct_neighbors(&ds.graph, r.to_vec())
+    });
+
+    let mut rows = Vec::new();
+    for pipeline in [false, true] {
+        let clean_cfg = DistConfig {
+            mode: DistMode::FlexGraph { pipeline },
+            retry: RetryPolicy::snappy(),
+            ..DistConfig::default()
+        };
+        eprintln!("measuring pipeline={pipeline}...");
+        let (clean_s, clean_rep) = measure(&ds, &shards, &clean_cfg);
+        let chaos_cfg = DistConfig {
+            chaos: Some(ChaosSchedule::stress(41)),
+            ..clean_cfg
+        };
+        let (chaos_s, chaos_rep) = measure(&ds, &shards, &chaos_cfg);
+        assert!(
+            bitwise_eq(&clean_rep.features, &chaos_rep.features),
+            "pipeline={pipeline}: chaos changed the epoch output"
+        );
+        rows.push((pipeline, clean_s, chaos_s, chaos_rep));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"workers\": {K},");
+    let _ = writeln!(json, "  \"vertices\": {n},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"all_bitwise_identical\": true,");
+    json.push_str("  \"configs\": [\n");
+    for (i, (pipeline, clean_s, chaos_s, rep)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"pipeline\": {pipeline}, \"clean_s\": {clean_s:.4}, \
+             \"chaos_s\": {chaos_s:.4}, \"overhead\": {:.3}, \
+             \"retries\": {}, \"drops_injected\": {}, \"redeliveries\": {}}}",
+            chaos_s / clean_s,
+            rep.retries,
+            rep.drops_injected,
+            rep.redeliveries
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>8} {:>8} {:>12}",
+        "pipeline", "clean s", "chaos s", "overhead", "retries", "drops", "redeliveries"
+    );
+    for (pipeline, clean_s, chaos_s, rep) in &rows {
+        println!(
+            "{:<10} {:>10.4} {:>10.4} {:>8.2}x {:>8} {:>8} {:>12}",
+            pipeline,
+            clean_s,
+            chaos_s,
+            chaos_s / clean_s,
+            rep.retries,
+            rep.drops_injected,
+            rep.redeliveries
+        );
+    }
+    println!("\noutputs bitwise identical under chaos; wrote BENCH_chaos.json");
+}

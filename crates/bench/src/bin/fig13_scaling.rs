@@ -39,6 +39,7 @@ fn run(
         strategy: Strategy::Ha,
         cost_model: CostModel::default(),
         update_weight: Some(Tensor::eye(ds.feature_dim()).scale(0.1)),
+        ..DistConfig::default()
     };
     // Discrete-event simulation: per-worker compute measured in
     // isolation + the modeled wire time (this host has a single core, so

@@ -47,6 +47,7 @@ fn epoch_secs(
             simulate_delay: false,
         },
         update_weight: None,
+        ..DistConfig::default()
     };
     // Minimum of five runs: the noise-robust estimator for ms-scale
     // simulated epochs on a shared host.

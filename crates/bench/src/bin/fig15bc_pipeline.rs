@@ -36,6 +36,7 @@ fn epoch(
             simulate_delay: false,
         },
         update_weight: None,
+        ..DistConfig::default()
     };
     // Minimum of five runs (noise-robust at ms scale).
     (0..5)

@@ -10,7 +10,7 @@
 //! [`decode_rows_with`] streams borrowed row slices without per-row
 //! allocation.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Reinterprets an `f32` slice as bytes.
 fn f32_bytes(row: &[f32]) -> &[u8] {
@@ -70,23 +70,95 @@ pub fn encode_flat_rows(dim: usize, ids: &[u32], flat: &[f32]) -> Bytes {
     buf.freeze()
 }
 
-/// Streams the rows of a buffer produced by [`encode_rows`] to `visit`,
-/// decoding each row into a reused scratch buffer (no per-row
-/// allocation). Returns the row dimension.
-///
-/// # Panics
-///
-/// Panics on a malformed buffer (truncated payload).
-pub fn decode_rows_with(buf: &Bytes, mut visit: impl FnMut(u32, &[f32])) -> usize {
-    let b = buf.as_ref();
-    assert!(b.len() >= 8, "truncated header");
+/// A structured decode failure. Malformed frames — truncated, bit-flipped
+/// lengths, or adversarial headers — must surface as one of these, never
+/// as a panic or out-of-bounds read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer than the 8 header bytes are present.
+    TruncatedHeader {
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The header promises more row bytes than the buffer holds.
+    TruncatedPayload {
+        /// Row count from the header.
+        rows: usize,
+        /// Row dimension from the header.
+        dim: usize,
+        /// Payload bytes the header implies.
+        need: usize,
+        /// Payload bytes actually available.
+        have: usize,
+    },
+    /// The header's `rows * row_bytes` does not even fit in `usize` —
+    /// only possible for a corrupted or adversarial frame.
+    ImplausibleHeader {
+        /// Row count from the header.
+        rows: usize,
+        /// Row dimension from the header.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TruncatedHeader { have } => {
+                write!(f, "truncated header: {have} of 8 bytes")
+            }
+            Self::TruncatedPayload {
+                rows,
+                dim,
+                need,
+                have,
+            } => write!(
+                f,
+                "truncated payload: want {rows} rows of dim {dim} ({need} bytes, have {have})"
+            ),
+            Self::ImplausibleHeader { rows, dim } => {
+                write!(f, "implausible header: {rows} rows of dim {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Validates a frame header against the buffer length, returning
+/// `(count, dim)` only when every promised byte is present.
+fn checked_header(b: &[u8]) -> Result<(usize, usize), DecodeError> {
+    if b.len() < 8 {
+        return Err(DecodeError::TruncatedHeader { have: b.len() });
+    }
     let count = u32::from_le_bytes(b[0..4].try_into().unwrap()) as usize;
     let dim = u32::from_le_bytes(b[4..8].try_into().unwrap()) as usize;
-    let row_bytes = 4 + dim * 4;
-    assert!(
-        b.len() - 8 >= count * row_bytes,
-        "truncated payload: want {count} rows of dim {dim}"
-    );
+    let need = dim
+        .checked_mul(4)
+        .and_then(|rb| rb.checked_add(4))
+        .and_then(|rb| rb.checked_mul(count))
+        .ok_or(DecodeError::ImplausibleHeader { rows: count, dim })?;
+    if b.len() - 8 < need {
+        return Err(DecodeError::TruncatedPayload {
+            rows: count,
+            dim,
+            need,
+            have: b.len() - 8,
+        });
+    }
+    Ok((count, dim))
+}
+
+/// Streams the rows of a buffer produced by [`encode_rows`] to `visit`,
+/// decoding each row into a reused scratch buffer (no per-row
+/// allocation). Returns the row dimension, or a [`DecodeError`] on any
+/// malformed frame — `visit` is never called in that case.
+pub fn try_decode_rows_with(
+    buf: &Bytes,
+    mut visit: impl FnMut(u32, &[f32]),
+) -> Result<usize, DecodeError> {
+    let b = buf.as_ref();
+    let (count, dim) = checked_header(b)?;
     let mut scratch = vec![0.0f32; dim];
     let mut off = 8usize;
     for _ in 0..count {
@@ -101,34 +173,50 @@ pub fn decode_rows_with(buf: &Bytes, mut visit: impl FnMut(u32, &[f32])) -> usiz
         off += dim * 4;
         visit(id, &scratch);
     }
-    dim
+    Ok(dim)
 }
 
-/// Decodes a buffer produced by [`encode_rows`] into owned rows.
+/// Owned rows produced by [`try_decode_rows`]: `(dim, (id, row) pairs)`.
+pub type DecodedRows = (usize, Vec<(u32, Vec<f32>)>);
+
+/// Decodes a buffer produced by [`encode_rows`] into owned rows, or a
+/// [`DecodeError`] on any malformed frame.
+pub fn try_decode_rows(buf: &Bytes) -> Result<DecodedRows, DecodeError> {
+    let b = buf.as_ref();
+    let (count, dim) = checked_header(b)?;
+    let mut rows = Vec::with_capacity(count);
+    let mut off = 8usize;
+    for _ in 0..count {
+        let id = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+        off += 4;
+        let mut row = Vec::with_capacity(dim);
+        for chunk in b[off..off + dim * 4].chunks_exact(4) {
+            row.push(f32::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        off += dim * 4;
+        rows.push((id, row));
+    }
+    Ok((dim, rows))
+}
+
+/// Streaming decode for trusted (fabric-internal) buffers.
 ///
 /// # Panics
 ///
-/// Panics on a malformed buffer (truncated payload).
-pub fn decode_rows(mut buf: Bytes) -> (usize, Vec<(u32, Vec<f32>)>) {
-    assert!(buf.remaining() >= 8, "truncated header");
-    let count = buf.get_u32_le() as usize;
-    let dim = buf.get_u32_le() as usize;
-    assert!(
-        buf.remaining() >= count * (4 + dim * 4),
-        "truncated payload: want {} rows of dim {}",
-        count,
-        dim
-    );
-    let mut rows = Vec::with_capacity(count);
-    for _ in 0..count {
-        let id = buf.get_u32_le();
-        let mut row = Vec::with_capacity(dim);
-        for _ in 0..dim {
-            row.push(buf.get_f32_le());
-        }
-        rows.push((id, row));
-    }
-    (dim, rows)
+/// Panics on a malformed buffer; use [`try_decode_rows_with`] for
+/// untrusted input.
+pub fn decode_rows_with(buf: &Bytes, visit: impl FnMut(u32, &[f32])) -> usize {
+    try_decode_rows_with(buf, visit).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Owned-row decode for trusted (fabric-internal) buffers.
+///
+/// # Panics
+///
+/// Panics on a malformed buffer; use [`try_decode_rows`] for untrusted
+/// input.
+pub fn decode_rows(buf: Bytes) -> (usize, Vec<(u32, Vec<f32>)>) {
+    try_decode_rows(&buf).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -189,6 +277,40 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_rows_rejected() {
         let _ = encode_rows(2, &[(0, &[1.0, 2.0, 3.0])]);
+    }
+
+    #[test]
+    fn try_decode_surfaces_structured_errors() {
+        let enc = encode_rows(3, &[(1, &[1.0, 2.0, 3.0])]);
+        assert_eq!(
+            try_decode_rows(&enc.slice(0..5)),
+            Err(DecodeError::TruncatedHeader { have: 5 })
+        );
+        let cut = enc.slice(0..enc.len() - 4);
+        match try_decode_rows(&cut) {
+            Err(DecodeError::TruncatedPayload {
+                rows: 1, dim: 3, ..
+            }) => {}
+            other => panic!("want TruncatedPayload, got {other:?}"),
+        }
+        let mut called = false;
+        assert!(try_decode_rows_with(&cut, |_, _| called = true).is_err());
+        assert!(!called, "visit must not run on malformed frames");
+    }
+
+    #[test]
+    fn implausible_header_is_rejected_without_allocation() {
+        // Header claiming u32::MAX rows of u32::MAX dim: the byte count
+        // overflows usize; must error out, not attempt a huge decode.
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        let frame = buf.freeze();
+        match try_decode_rows(&frame) {
+            Err(DecodeError::ImplausibleHeader { .. })
+            | Err(DecodeError::TruncatedPayload { .. }) => {}
+            other => panic!("want structured error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,14 +12,23 @@
 //! which is what makes the pipeline-processing experiment (Figure 15b/c)
 //! produce real speedups rather than bookkeeping ones.
 //!
-//! Fault injection (extra delay, message duplication) is available for
-//! robustness tests, standing in for the fault-tolerance module of the
-//! paper's architecture diagram (Figure 12).
+//! The fabric is fault-tolerant, standing in for the fault-tolerance
+//! module of the paper's architecture diagram (Figure 12): every payload
+//! is sequenced, acknowledged, and retransmitted with capped exponential
+//! backoff, receivers deduplicate, and a seeded [`ChaosSchedule`] can
+//! deterministically inject drops, duplicates, reorders, delays, and
+//! single-worker crashes — the substrate `tests/chaos.rs` uses to prove
+//! bitwise-identical epoch outputs under any fault schedule.
 
+pub mod chaos;
 pub mod codec;
 pub mod fabric;
 pub mod stats;
 
-pub use codec::{decode_rows, decode_rows_with, encode_flat_rows, encode_rows};
-pub use fabric::{Fabric, FaultPlan, Message, WorkerComm};
+pub use chaos::{ChaosSchedule, CrashPoint};
+pub use codec::{
+    decode_rows, decode_rows_with, encode_flat_rows, encode_rows, try_decode_rows,
+    try_decode_rows_with, DecodeError,
+};
+pub use fabric::{CommError, Fabric, Message, RetryPolicy, WorkerComm};
 pub use stats::{CommStats, CostModel};

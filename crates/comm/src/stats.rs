@@ -46,12 +46,26 @@ impl CostModel {
 }
 
 /// Fabric-wide traffic counters (lock-free; shared by all workers).
+///
+/// Application traffic (`messages`/`bytes`/`modeled_us`) counts each
+/// logical payload exactly once, at first transmission — retransmits,
+/// injected drops, and duplicates do not inflate it, so epoch traffic
+/// numbers stay comparable between fault-free and chaos runs. The
+/// fault path is accounted separately: `retries`, `drops_injected`,
+/// `dups_injected`, `redeliveries`, `acks`, and `control_messages`
+/// (barrier/ack protocol traffic).
 #[derive(Default, Debug)]
 pub struct CommStats {
     messages: AtomicU64,
     bytes: AtomicU64,
     /// Modeled wire time, in nanoseconds for resolution.
     modeled_ns: AtomicU64,
+    retries: AtomicU64,
+    drops_injected: AtomicU64,
+    dups_injected: AtomicU64,
+    redeliveries: AtomicU64,
+    acks: AtomicU64,
+    control_messages: AtomicU64,
 }
 
 impl CommStats {
@@ -61,6 +75,38 @@ impl CommStats {
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.modeled_ns
             .fetch_add((wire_us * 1_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one protocol-internal message (barrier traffic); kept out
+    /// of the application counters.
+    pub fn record_control(&self) {
+        self.control_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retransmission of an unacknowledged message.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chaos-injected drop.
+    pub fn record_drop_injected(&self) {
+        self.drops_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one chaos-injected duplicate transmission.
+    pub fn record_dup_injected(&self) {
+        self.dups_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one receive-side discard of an already-seen sequence
+    /// number (from a duplicate or a retransmit racing its ack).
+    pub fn record_redelivery(&self) {
+        self.redeliveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one acknowledgement sent.
+    pub fn record_ack(&self) {
+        self.acks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total messages sent.
@@ -79,11 +125,47 @@ impl CommStats {
         self.modeled_ns.load(Ordering::Relaxed) as f64 / 1_000.0
     }
 
+    /// Total retransmissions.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total chaos-injected drops.
+    pub fn drops_injected(&self) -> u64 {
+        self.drops_injected.load(Ordering::Relaxed)
+    }
+
+    /// Total chaos-injected duplicates.
+    pub fn dups_injected(&self) -> u64 {
+        self.dups_injected.load(Ordering::Relaxed)
+    }
+
+    /// Total receive-side duplicate discards.
+    pub fn redeliveries(&self) -> u64 {
+        self.redeliveries.load(Ordering::Relaxed)
+    }
+
+    /// Total acknowledgements sent.
+    pub fn acks(&self) -> u64 {
+        self.acks.load(Ordering::Relaxed)
+    }
+
+    /// Total protocol-internal (barrier) messages.
+    pub fn control_messages(&self) -> u64 {
+        self.control_messages.load(Ordering::Relaxed)
+    }
+
     /// Resets all counters (between benchmark phases).
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
         self.modeled_ns.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
+        self.drops_injected.store(0, Ordering::Relaxed);
+        self.dups_injected.store(0, Ordering::Relaxed);
+        self.redeliveries.store(0, Ordering::Relaxed);
+        self.acks.store(0, Ordering::Relaxed);
+        self.control_messages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -113,6 +195,30 @@ mod tests {
         s.reset();
         assert_eq!(s.messages(), 0);
         assert_eq!(s.bytes(), 0);
+    }
+
+    #[test]
+    fn fault_path_counters_are_separate_from_traffic() {
+        let s = CommStats::default();
+        s.record(64, 1.0);
+        s.record_retry();
+        s.record_retry();
+        s.record_drop_injected();
+        s.record_dup_injected();
+        s.record_redelivery();
+        s.record_ack();
+        s.record_control();
+        assert_eq!(s.messages(), 1, "fault-path events are not messages");
+        assert_eq!(s.bytes(), 64);
+        assert_eq!(s.retries(), 2);
+        assert_eq!(s.drops_injected(), 1);
+        assert_eq!(s.dups_injected(), 1);
+        assert_eq!(s.redeliveries(), 1);
+        assert_eq!(s.acks(), 1);
+        assert_eq!(s.control_messages(), 1);
+        s.reset();
+        assert_eq!(s.retries(), 0);
+        assert_eq!(s.control_messages(), 0);
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Property tests for the message codec: arbitrary payloads round-trip
-//! exactly through both encoders and both decoders.
+//! exactly through both encoders and both decoders, and malformed frames
+//! — truncated prefixes, corrupted bytes, raw garbage — always surface
+//! structured [`DecodeError`]s instead of panicking.
 
-use flexgraph_comm::{decode_rows, decode_rows_with, encode_flat_rows, encode_rows};
+use bytes::Bytes;
+use flexgraph_comm::{
+    decode_rows, decode_rows_with, encode_flat_rows, encode_rows, try_decode_rows,
+    try_decode_rows_with,
+};
 use proptest::prelude::*;
 
 fn rows_strategy() -> impl Strategy<Value = (usize, Vec<u32>, Vec<f32>)> {
@@ -44,6 +50,55 @@ proptest! {
         prop_assert_eq!(d1, dim);
         prop_assert_eq!(d2, dim);
         prop_assert_eq!(owned, streamed);
+    }
+
+    #[test]
+    fn truncated_prefixes_error_never_panic(
+        (dim, ids, flat) in rows_strategy(),
+        frac in 0.0f64..1.0,
+    ) {
+        let enc = encode_flat_rows(dim, &ids, &flat);
+        // Frames are never empty (8 header bytes), so a strict prefix
+        // always exists.
+        let cut_len = ((enc.len() as f64 * frac) as usize).min(enc.len() - 1);
+        let cut = enc.slice(0..cut_len);
+        // A strict prefix always loses bytes the header promises.
+        prop_assert!(try_decode_rows(&cut).is_err());
+        let mut visited = 0usize;
+        prop_assert!(try_decode_rows_with(&cut, |_, _| visited += 1).is_err());
+        prop_assert_eq!(visited, 0, "no partial rows surfaced");
+    }
+
+    #[test]
+    fn corrupted_frames_error_or_decode_never_panic(
+        (dim, ids, flat) in rows_strategy(),
+        flip_at in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let enc = encode_flat_rows(dim, &ids, &flat);
+        let mut raw = enc.to_vec();
+        let at = flip_at % raw.len();
+        raw[at] ^= 1 << flip_bit;
+        let frame = Bytes::from(raw);
+        // A corrupted header may still describe a self-consistent frame
+        // (e.g. a float bit flipped); the property is no panic and no
+        // out-of-bounds access, with errors staying structured.
+        let owned = try_decode_rows(&frame);
+        let mut streamed = Vec::new();
+        let with = try_decode_rows_with(&frame, |id, row| streamed.push((id, row.to_vec())));
+        prop_assert_eq!(owned.is_ok(), with.is_ok());
+        if let Ok((d, rows)) = owned {
+            prop_assert_eq!(with.unwrap(), d);
+            prop_assert_eq!(rows, streamed);
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(raw in proptest::collection::vec(0u32..256, 0usize..256)) {
+        let frame = Bytes::from(raw.into_iter().map(|b| b as u8).collect::<Vec<u8>>());
+        let owned = try_decode_rows(&frame);
+        let with = try_decode_rows_with(&frame, |_, _| {});
+        prop_assert_eq!(owned.is_ok(), with.is_ok());
     }
 
     #[test]

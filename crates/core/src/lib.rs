@@ -36,6 +36,8 @@
 //! assert!(stats.last().unwrap().loss < stats.first().unwrap().loss);
 //! ```
 
+pub mod ft;
+
 pub use flexgraph_comm as comm;
 pub use flexgraph_dist as dist;
 pub use flexgraph_engine as engine;
@@ -46,7 +48,10 @@ pub use flexgraph_tensor as tensor;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use flexgraph_comm::{CostModel, Fabric};
+    pub use crate::ft::{train_with_recovery, FtReport};
+    pub use flexgraph_comm::{
+        ChaosSchedule, CommError, CostModel, CrashPoint, Fabric, RetryPolicy,
+    };
     pub use flexgraph_dist::{
         distributed_epoch, make_shards, DistConfig, DistMode, EpochReport, Shard,
     };

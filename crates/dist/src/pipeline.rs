@@ -16,7 +16,7 @@
 //!   batching (§5), which both modes here share (one message per peer).
 
 use crate::shard::Shard;
-use flexgraph_comm::{decode_rows_with, encode_flat_rows, encode_rows, WorkerComm};
+use flexgraph_comm::{decode_rows_with, encode_flat_rows, encode_rows, CommError, WorkerComm};
 use flexgraph_graph::VertexId;
 use flexgraph_tensor::{scatter_add_gathered_into, ScatterPlan, Tensor};
 use std::sync::Arc;
@@ -200,7 +200,7 @@ pub fn leaf_level_pipelined(
     comm: &mut WorkerComm,
     tag: u32,
     shard: &Shard,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let d = local_feats.cols();
     let k = comm.num_workers();
     let me = comm.rank();
@@ -217,7 +217,7 @@ pub fn leaf_level_pipelined(
         } else {
             encode_raw_rows(sync, local_feats, shard, p, d)
         };
-        comm.send(p, tag, payload);
+        comm.send(p, tag, payload)?;
     }
 
     // (2) Local aggregation overlaps with the in-flight messages —
@@ -225,11 +225,19 @@ pub fn leaf_level_pipelined(
     let mut slots = Tensor::zeros(sync.num_slots, d);
     scatter_add_gathered_into(&mut slots, local_feats, &sync.local_rows, &sync.local_plan);
 
-    // (3) Fold in arrivals (streamed; no per-row allocation).
+    // (3) Fold in arrivals in *rank order* (streamed; no per-row
+    // allocation). f32 addition is not associative, so folding in
+    // arrival order would make the result depend on wire timing; the
+    // directed receive pins the fold order and keeps epoch outputs
+    // bitwise identical under any chaos schedule. The overlap is
+    // preserved — all messages were sent before the local fold started.
     let num_vertices = shard.owner.len();
-    for _ in 0..k - 1 {
-        let msg = comm.recv_tag(tag);
-        if sync.partial_from[msg.from] {
+    for p in 0..k {
+        if p == me {
+            continue;
+        }
+        let msg = comm.recv_tag_from(p, tag)?;
+        if sync.partial_from[p] {
             let dim = decode_rows_with(&msg.payload, |i, row| {
                 let dst = slots.row_mut(i as usize);
                 for (o, &x) in dst.iter_mut().zip(row) {
@@ -238,10 +246,10 @@ pub fn leaf_level_pipelined(
             });
             debug_assert_eq!(dim, d);
         } else {
-            fold_raw_rows(sync, &mut slots, &msg.payload, msg.from, d, num_vertices);
+            fold_raw_rows(sync, &mut slots, &msg.payload, p, d, num_vertices);
         }
     }
-    slots
+    Ok(slots)
 }
 
 /// Encodes per-slot partial sums for peer `p` into one message.
@@ -320,7 +328,7 @@ pub fn leaf_level_unpipelined(
     comm: &mut WorkerComm,
     tag: u32,
     shard: &Shard,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let d = local_feats.cols();
     let k = comm.num_workers();
     let me = comm.rank();
@@ -343,16 +351,18 @@ pub fn leaf_level_unpipelined(
                 last = Some(row);
             }
         }
-        comm.send(p, tag, encode_rows(d, &rows));
+        comm.send(p, tag, encode_rows(d, &rows))?;
     }
 
     // Dataflow semantics: all remote features must arrive before the
     // Aggregate operation starts. Rows land in one flat table keyed by
-    // a dense vertex → offset array.
+    // a dense vertex → offset array. (Arrival order only affects the
+    // table layout, not the fold order — that follows `remote_edges` —
+    // so any-source receive is already bitwise deterministic here.)
     let mut remote_off = vec![u32::MAX; shard.owner.len()];
     let mut remote_flat: Vec<f32> = Vec::new();
     for _ in 0..k - 1 {
-        let msg = comm.recv_tag(tag);
+        let msg = comm.recv_tag(tag)?;
         let dim = decode_rows_with(&msg.payload, |v, row| {
             remote_off[v as usize] = remote_flat.len() as u32;
             remote_flat.extend_from_slice(row);
@@ -373,7 +383,7 @@ pub fn leaf_level_unpipelined(
             *o += x;
         }
     }
-    slots
+    Ok(slots)
 }
 
 /// Divides summed slot features by the per-slot leaf counts (Mean
@@ -428,7 +438,8 @@ mod tests {
                                 leaf_level_pipelined(plan, &shard.feats, &mut comm, 1, shard)
                             } else {
                                 leaf_level_unpipelined(plan, &shard.feats, &mut comm, 1, shard)
-                            };
+                            }
+                            .unwrap();
                             (comm.rank(), slots)
                         })
                     })
@@ -497,9 +508,11 @@ mod tests {
                         s.spawn(move |_| {
                             let t0 = std::time::Instant::now();
                             if pipelined {
-                                leaf_level_pipelined(plan, &shard.feats, &mut comm, 1, shard);
+                                leaf_level_pipelined(plan, &shard.feats, &mut comm, 1, shard)
+                                    .unwrap();
                             } else {
-                                leaf_level_unpipelined(plan, &shard.feats, &mut comm, 1, shard);
+                                leaf_level_unpipelined(plan, &shard.feats, &mut comm, 1, shard)
+                                    .unwrap();
                             }
                             t0.elapsed()
                         })

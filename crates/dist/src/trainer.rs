@@ -21,7 +21,9 @@ use crate::pipeline::{
     SlotLevel,
 };
 use crate::shard::Shard;
-use flexgraph_comm::{decode_rows, encode_rows, CostModel, Fabric, WorkerComm};
+use flexgraph_comm::{
+    decode_rows, encode_rows, ChaosSchedule, CommError, CostModel, Fabric, RetryPolicy, WorkerComm,
+};
 use flexgraph_engine::hybrid::{
     aggregate_from_groups, aggregate_from_instances, AggrOp, AggrPlan, Strategy,
 };
@@ -70,6 +72,15 @@ pub struct DistConfig {
     pub cost_model: CostModel,
     /// Optional Update-stage weight: `out = relu(agg · w)`.
     pub update_weight: Option<Tensor>,
+    /// Optional seeded fault schedule, installed before the epoch
+    /// barrier. The crash (if any) only applies to the first attempt;
+    /// re-driven epochs run the same schedule crash-free.
+    pub chaos: Option<ChaosSchedule>,
+    /// Retransmission / failure-detection policy for the fabric.
+    pub retry: RetryPolicy,
+    /// How many times a failed epoch may be re-driven before the
+    /// failure is treated as unrecoverable (panics).
+    pub max_recoveries: u32,
 }
 
 impl Default for DistConfig {
@@ -81,6 +92,9 @@ impl Default for DistConfig {
             strategy: Strategy::Ha,
             cost_model: CostModel::accounting_only(),
             update_weight: None,
+            chaos: None,
+            retry: RetryPolicy::default(),
+            max_recoveries: 2,
         }
     }
 }
@@ -97,70 +111,149 @@ pub struct EpochReport {
     pub comm_messages: u64,
     /// Modeled wire time summed over messages, microseconds.
     pub modeled_comm_us: f64,
+    /// Retransmissions across all attempts.
+    pub retries: u64,
+    /// Chaos-injected drops across all attempts.
+    pub drops_injected: u64,
+    /// Receive-side duplicate discards across all attempts.
+    pub redeliveries: u64,
+    /// Times the epoch was re-driven after a worker failure.
+    pub recoveries: u32,
 }
 
 /// Runs one distributed epoch over the shards. `graph` is the replicated
 /// structure (used by the DistDGL-like closure expansion); `num_vertices`
 /// must equal its vertex count.
+///
+/// Fault tolerance: shards are immutable during an epoch, so the shard
+/// state *is* the epoch-start snapshot. When a worker fails (a scheduled
+/// crash, or a peer declared unreachable), every worker unwinds with a
+/// structured [`CommError`], the epoch's partial output is discarded,
+/// and the whole epoch is re-driven on a fresh fabric with the crash
+/// removed from the schedule — at most [`DistConfig::max_recoveries`]
+/// times. Because the fabric delivers exactly-once in deterministic
+/// per-link order and the leaf folds run in rank order, the recovered
+/// epoch's output is bitwise identical to a fault-free run.
+///
+/// # Panics
+///
+/// Panics when the epoch still fails after `max_recoveries` re-drives.
 pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> EpochReport {
     let k = shards.len();
     let n = graph.num_vertices();
     let sync_plans = build_leaf_sync(shards);
-    let (fabric, comms) = Fabric::new(k, cfg.cost_model);
 
-    let results: Vec<(usize, Tensor, Duration)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = comms
-            .into_iter()
-            .map(|mut comm| {
-                let shard = &shards[comm.rank()];
-                let sync = &sync_plans[comm.rank()];
-                let cfg = cfg.clone();
-                s.spawn(move |_| {
-                    comm.barrier();
-                    let t0 = Instant::now();
-                    let out = match cfg.mode {
-                        DistMode::FlexGraph { pipeline } => {
-                            flexgraph_worker_epoch(shard, sync, &mut comm, &cfg, pipeline)
-                        }
-                        DistMode::EulerLike { batch_size } => {
-                            minibatch_worker_epoch(shard, sync, &mut comm, &cfg, batch_size, None)
-                        }
-                        DistMode::DistDglLike { batch_size, hops } => minibatch_worker_epoch(
-                            shard,
-                            sync,
-                            &mut comm,
-                            &cfg,
-                            batch_size,
-                            Some(hops),
-                        ),
-                    };
-                    let elapsed = t0.elapsed();
-                    comm.barrier();
-                    (comm.rank(), out, elapsed)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker panicked");
+    let mut recoveries = 0u32;
+    let (mut acc_bytes, mut acc_messages) = (0u64, 0u64);
+    let mut acc_modeled_us = 0f64;
+    let (mut acc_retries, mut acc_drops, mut acc_redeliveries) = (0u64, 0u64, 0u64);
 
-    // Assemble per-root outputs into the global order.
-    let d_out = results[0].1.cols();
-    let mut features = Tensor::zeros(n, d_out);
-    let mut wall = Duration::ZERO;
-    for (rank, out, elapsed) in results {
-        wall = wall.max(elapsed);
-        for (i, &v) in shards[rank].roots.iter().enumerate() {
-            features.row_mut(v as usize).copy_from_slice(out.row(i));
+    loop {
+        let (fabric, comms) = Fabric::with_retry(k, cfg.cost_model, cfg.retry);
+        if let Some(chaos) = cfg.chaos {
+            // The crash is a one-shot fault: the re-driven epoch keeps
+            // the message-level chaos but the worker stays up.
+            let sched = if recoveries == 0 {
+                chaos
+            } else {
+                chaos.without_crash()
+            };
+            fabric.set_chaos(sched);
         }
-    }
 
-    EpochReport {
-        features,
-        wall,
-        comm_bytes: fabric.stats().bytes(),
-        comm_messages: fabric.stats().messages(),
-        modeled_comm_us: fabric.stats().modeled_us(),
+        let results: Vec<(usize, Result<Tensor, CommError>, Duration)> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|mut comm| {
+                        let shard = &shards[comm.rank()];
+                        let sync = &sync_plans[comm.rank()];
+                        let cfg = cfg.clone();
+                        s.spawn(move |_| {
+                            let started = comm.barrier();
+                            let t0 = Instant::now();
+                            let out = started.and_then(|()| match cfg.mode {
+                                DistMode::FlexGraph { pipeline } => {
+                                    flexgraph_worker_epoch(shard, sync, &mut comm, &cfg, pipeline)
+                                }
+                                DistMode::EulerLike { batch_size } => minibatch_worker_epoch(
+                                    shard, sync, &mut comm, &cfg, batch_size, None,
+                                ),
+                                DistMode::DistDglLike { batch_size, hops } => {
+                                    minibatch_worker_epoch(
+                                        shard,
+                                        sync,
+                                        &mut comm,
+                                        &cfg,
+                                        batch_size,
+                                        Some(hops),
+                                    )
+                                }
+                            });
+                            let elapsed = t0.elapsed();
+                            if out.is_ok() {
+                                // Exit barrier: keeps this worker pumping
+                                // acks/retransmits until every peer has
+                                // finished. Its error (a peer died after
+                                // we finished) is subsumed by that peer's
+                                // own failure, which forces the re-drive.
+                                let _ = comm.barrier();
+                            }
+                            (comm.rank(), out, elapsed)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("worker panicked");
+
+        acc_bytes += fabric.stats().bytes();
+        acc_messages += fabric.stats().messages();
+        acc_modeled_us += fabric.stats().modeled_us();
+        acc_retries += fabric.stats().retries();
+        acc_drops += fabric.stats().drops_injected();
+        acc_redeliveries += fabric.stats().redeliveries();
+
+        let failures: Vec<(usize, CommError)> = results
+            .iter()
+            .filter_map(|(rank, out, _)| out.as_ref().err().map(|e| (*rank, e.clone())))
+            .collect();
+        if !failures.is_empty() {
+            recoveries += 1;
+            assert!(
+                recoveries <= cfg.max_recoveries,
+                "epoch unrecoverable after {} re-drives: {failures:?}",
+                recoveries - 1
+            );
+            continue;
+        }
+
+        // Assemble per-root outputs into the global order.
+        let mut wall = Duration::ZERO;
+        let mut d_out = 0;
+        for (_, out, elapsed) in &results {
+            wall = wall.max(*elapsed);
+            d_out = out.as_ref().expect("no failures").cols();
+        }
+        let mut features = Tensor::zeros(n, d_out);
+        for (rank, out, _) in results {
+            let out = out.expect("no failures");
+            for (i, &v) in shards[rank].roots.iter().enumerate() {
+                features.row_mut(v as usize).copy_from_slice(out.row(i));
+            }
+        }
+
+        return EpochReport {
+            features,
+            wall,
+            comm_bytes: acc_bytes,
+            comm_messages: acc_messages,
+            modeled_comm_us: acc_modeled_us,
+            retries: acc_retries,
+            drops_injected: acc_drops,
+            redeliveries: acc_redeliveries,
+            recoveries,
+        };
     }
 }
 
@@ -209,14 +302,14 @@ fn flexgraph_worker_epoch(
     comm: &mut WorkerComm,
     cfg: &DistConfig,
     pipeline: bool,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let slots = if pipeline {
-        leaf_level_pipelined(sync, &shard.feats, comm, 1, shard)
+        leaf_level_pipelined(sync, &shard.feats, comm, 1, shard)?
     } else {
-        leaf_level_unpipelined(sync, &shard.feats, comm, 1, shard)
+        leaf_level_unpipelined(sync, &shard.feats, comm, 1, shard)?
     };
     let out = finish_upper_levels(shard, sync, slots, cfg.leaf_op, &cfg.plan, cfg.strategy);
-    apply_update(out, cfg)
+    Ok(apply_update(out, cfg))
 }
 
 /// The shared mini-batch worker loop. `hops = None` fetches only the
@@ -229,7 +322,7 @@ fn minibatch_worker_epoch(
     cfg: &DistConfig,
     batch_size: usize,
     hops: Option<usize>,
-) -> Tensor {
+) -> Result<Tensor, CommError> {
     let k = comm.num_workers();
     let me = comm.rank();
     let d = shard.feats.cols();
@@ -237,7 +330,7 @@ fn minibatch_worker_epoch(
 
     // All workers must run the same number of request/response rounds.
     let my_rounds = n_roots.div_ceil(batch_size.max(1));
-    let rounds = sync_round_count(comm, my_rounds);
+    let rounds = sync_round_count(comm, my_rounds)?;
 
     let mut slots = Tensor::zeros(sync.num_slots, d);
     // Local leaf edges can be aggregated up front (they need no fetch).
@@ -294,22 +387,22 @@ fn minibatch_worker_epoch(
                 continue;
             }
             let rows: Vec<(u32, &[f32])> = ids.iter().map(|&v| (v, [].as_slice())).collect();
-            comm.send(p, req_tag, encode_rows(0, &rows));
+            comm.send(p, req_tag, encode_rows(0, &rows))?;
         }
         // Serve incoming requests.
         let mut responses: HashMap<u32, Vec<f32>> = HashMap::new();
         for _ in 0..k - 1 {
-            let msg = comm.recv_tag(req_tag);
+            let msg = comm.recv_tag(req_tag)?;
             let (_, ids) = decode_rows(msg.payload);
             let rows: Vec<(u32, Vec<f32>)> = ids
                 .into_iter()
                 .map(|(v, _)| (v, shard.feats.row(shard.row_of(v) as usize).to_vec()))
                 .collect();
             let refs: Vec<(u32, &[f32])> = rows.iter().map(|(v, r)| (*v, r.as_slice())).collect();
-            comm.send(msg.from, resp_tag, encode_rows(d, &refs));
+            comm.send(msg.from, resp_tag, encode_rows(d, &refs))?;
         }
         for _ in 0..k - 1 {
-            let msg = comm.recv_tag(resp_tag);
+            let msg = comm.recv_tag(resp_tag)?;
             let (_, rows) = decode_rows(msg.payload);
             for (v, row) in rows {
                 responses.insert(v, row);
@@ -346,21 +439,21 @@ fn minibatch_worker_epoch(
 
     // Upper levels with sparse ops (the baseline has no hybrid executor).
     let out = finish_upper_levels(shard, sync, slots, cfg.leaf_op, &cfg.plan, Strategy::Sa);
-    apply_update(out, cfg)
+    Ok(apply_update(out, cfg))
 }
 
 /// Agrees on `max(rounds)` across workers via a tiny all-to-all.
-fn sync_round_count(comm: &mut WorkerComm, mine: usize) -> usize {
+fn sync_round_count(comm: &mut WorkerComm, mine: usize) -> Result<usize, CommError> {
     let k = comm.num_workers();
     let payload = encode_rows(0, &[(mine as u32, [].as_slice())]);
     let outgoing = vec![payload; k];
-    let got = comm.exchange(5, outgoing);
+    let got = comm.exchange(5, outgoing)?;
     let mut max = mine;
     for (_, bytes) in got {
         let (_, rows) = decode_rows(bytes);
         max = max.max(rows[0].0 as usize);
     }
-    max
+    Ok(max)
 }
 
 /// The replicated graph reference carried per shard.

@@ -182,6 +182,22 @@ impl<M: Model> Trainer<M> {
         g.value(logits).clone()
     }
 
+    /// The optimizer, for checkpointing its state alongside parameters.
+    pub fn optimizer(&self) -> &Adam {
+        &self.opt
+    }
+
+    /// Mutable optimizer access, for restoring checkpointed state.
+    pub fn optimizer_mut(&mut self) -> &mut Adam {
+        &mut self.opt
+    }
+
+    /// Split mutable borrow of parameters and optimizer together — the
+    /// shape [`crate::checkpoint::restore_full`] needs.
+    pub fn params_and_optimizer_mut(&mut self) -> (&mut ParamSet, &mut Adam) {
+        (&mut self.params, &mut self.opt)
+    }
+
     /// Total wall time of `run` broken into stages.
     pub fn total_times(stats: &[EpochStats]) -> StageTimes {
         let mut acc = StageTimes {

@@ -160,6 +160,38 @@ impl Adam {
             v: Vec::new(),
         }
     }
+
+    /// Number of update steps applied so far (the `t` in bias correction).
+    pub fn step_count(&self) -> u32 {
+        self.t
+    }
+
+    /// Per-slot first-moment estimates (empty before the first step).
+    pub fn first_moments(&self) -> &[Tensor] {
+        &self.m
+    }
+
+    /// Per-slot second-moment estimates (empty before the first step).
+    pub fn second_moments(&self) -> &[Tensor] {
+        &self.v
+    }
+
+    /// Overwrites the optimizer state wholesale — the restore half of
+    /// checkpointing. `m` and `v` must have identical shapes slot by slot;
+    /// subsequent steps resume bias correction from `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` and `v` disagree in length or any slot's shape.
+    pub fn restore_state(&mut self, t: u32, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment vectors must pair up");
+        for (i, (a, b)) in m.iter().zip(&v).enumerate() {
+            assert_eq!(a.shape(), b.shape(), "moment shapes differ at slot {i}");
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {

@@ -2,7 +2,7 @@
 //! computes — across worker counts, modes, pipeline settings, models,
 //! and under injected communication faults.
 
-use flexgraph::comm::{CostModel, FaultPlan};
+use flexgraph::comm::{ChaosSchedule, CostModel};
 use flexgraph::dist::{distributed_epoch, make_shards, DistConfig, DistMode};
 use flexgraph::engine::hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
 use flexgraph::engine::MemoryBudget;
@@ -118,24 +118,34 @@ fn parity_survives_fault_injection_delays() {
 
 #[test]
 fn duplicated_messages_do_not_corrupt_exchange() {
-    // Exercise the fabric-level dedup under the duplicate fault plan via
-    // a raw exchange (the trainer's request/response rounds rely on it).
+    // Exercise the transport-level dedup under a duplicating chaos
+    // schedule via a raw exchange (the trainer's request/response rounds
+    // rely on it).
     let (fabric, workers) = flexgraph::comm::Fabric::new(3, CostModel::accounting_only());
-    fabric.set_fault(FaultPlan {
-        extra_delay_us: 0.0,
-        duplicate_every: 2,
+    fabric.set_chaos(ChaosSchedule {
+        seed: 7,
+        duplicate_every: 1,
+        ..ChaosSchedule::default()
     });
     crossbeam::thread::scope(|s| {
         for mut w in workers {
             s.spawn(move |_| {
                 let out =
                     vec![flexgraph::comm::codec::encode_rows(0, &[(w.rank() as u32, &[])]); 3];
-                let got = w.exchange(1, out);
+                let got = w.exchange(1, out).unwrap();
                 assert_eq!(got.len(), 2);
+                // Per-producer FIFO: by the time every peer's barrier
+                // message arrives, their duplicated data packets have
+                // been processed (and absorbed) too.
+                w.barrier().unwrap();
             });
         }
     })
     .unwrap();
+    assert!(
+        fabric.stats().redeliveries() > 0,
+        "duplicates must have been injected and absorbed"
+    );
 }
 
 #[test]

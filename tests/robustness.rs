@@ -1,7 +1,7 @@
 //! Robustness and edge-case integration tests: fault injection, dynamic
 //! graphs, degenerate topologies, and budget boundaries.
 
-use flexgraph::comm::{CostModel, FaultPlan};
+use flexgraph::comm::{ChaosSchedule, CostModel};
 use flexgraph::dist::{distributed_epoch, make_shards, simulated_epoch, DistConfig, DistMode};
 use flexgraph::engine::hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
 use flexgraph::engine::MemoryBudget;
@@ -62,31 +62,26 @@ fn distributed_parity_under_duplication_and_delay() {
     let cfg = DistConfig::default();
     let want = distributed_epoch(&ds.graph, &shards, &cfg);
 
-    // The fabric-level fault plan duplicates messages; the leaf-level
-    // protocol is one-message-per-peer-per-tag, so duplicates must be
-    // ignored by the tag accounting... the trainer's recv loop reads
-    // exactly k-1 messages per tag, and duplicates carry identical
-    // payloads — re-adding one would corrupt sums. The exchange-based
-    // paths dedup; the leaf-level path relies on distinct tags per
-    // epoch, so inject only delay here (duplication robustness for
-    // exchanges is covered in `distributed_parity.rs`).
-    let (fabric, workers) = flexgraph::comm::Fabric::new(3, CostModel::accounting_only());
-    fabric.set_fault(FaultPlan {
-        extra_delay_us: 500.0,
-        duplicate_every: 0,
-    });
-    drop(workers);
-
+    // Chaos-injected per-message delay plus transport-level duplication:
+    // the reliable-delivery layer dedups redeliveries, so results match
+    // the fault-free run exactly and only timing changes.
     let delayed_cfg = DistConfig {
         cost_model: CostModel {
             alpha_us: 1_000.0,
             bytes_per_us: 1_000.0,
             simulate_delay: true,
         },
+        chaos: Some(ChaosSchedule {
+            seed: 5,
+            duplicate_every: 3,
+            extra_delay_us: 500.0,
+            ..ChaosSchedule::default()
+        }),
         ..DistConfig::default()
     };
     let got = distributed_epoch(&ds.graph, &shards, &delayed_cfg);
     assert!(got.features.max_abs_diff(&want.features) < 1e-4);
+    assert!(got.redeliveries > 0, "duplicates were injected and deduped");
 }
 
 #[test]

@@ -62,7 +62,7 @@ pub mod thread {
 
 /// Channels, mirroring `crossbeam::channel` on `std::sync::mpsc`.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Sending half of an unbounded channel (cloneable).
     pub struct Sender<T>(std::sync::mpsc::Sender<T>);
@@ -92,6 +92,11 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks for the next value up to `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 
@@ -137,5 +142,14 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         assert_eq!(rx.try_recv().unwrap(), 2);
         assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = crate::channel::unbounded();
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)).unwrap(), 7);
     }
 }
