@@ -1,0 +1,200 @@
+//! Dense kernel baseline: naive vs cache-blocked throughput.
+//!
+//! Measures `matmul` (GFLOP/s) and `transpose` (GB/s) at three sizes,
+//! comparing the seed's unblocked reference kernels (`matmul_naive`,
+//! `transpose_naive`) against the tiled, pool-parallel ones, and
+//! verifies the outputs are bitwise identical before reporting. Emits
+//! `BENCH_dense.json` in the current directory.
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25; matmul edges scale
+//! with its cube root so flops scale linearly) and thread count with
+//! `FLEXGRAPH_THREADS`. The speedup column is measured, never assumed:
+//! on a single-core container it is pure cache blocking and register
+//! tiling; with threads it adds pool parallelism over row blocks.
+
+use flexgraph::tensor::{num_threads, Tensor};
+use flexgraph_bench::bench_scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured kernel at one size.
+struct Row {
+    scale_name: &'static str,
+    kernel: &'static str,
+    shape: String,
+    /// "gflops" for matmul, "gbps" for transpose.
+    unit: &'static str,
+    naive: f64,
+    tiled: f64,
+    bitwise_identical: bool,
+}
+
+fn fill(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// Times `f`, adapting repetitions so each measurement runs ≥ ~100 ms,
+/// then takes the best of three windows — the minimum-noise estimate on
+/// shared machines, where any slow window is interference, never the
+/// kernel. Returns (work_units · reps / seconds, last output).
+fn rate(work_per_call: f64, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
+    let mut out = f(); // Warm-up; also the value used for identity checks.
+    let mut reps = 1u32;
+    let reps = loop {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            out = std::hint::black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_secs_f64() >= 0.1 || reps >= 1 << 14 {
+            break reps;
+        }
+        reps *= 4;
+    };
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            out = std::hint::black_box(f());
+        }
+        best = best.max(work_per_call * reps as f64 / t0.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn bitwise_eq(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bench_matmul(scale_name: &'static str, m: usize, k: usize, n: usize, rows: &mut Vec<Row>) {
+    let a = Tensor::from_vec(m, k, fill(m * k, 42));
+    let b = Tensor::from_vec(k, n, fill(k * n, 17));
+    let gflop = 2.0 * m as f64 * k as f64 * n as f64 / 1e9;
+    let (naive, n_out) = rate(gflop, || a.matmul_naive(&b));
+    let (tiled, t_out) = rate(gflop, || a.matmul(&b));
+    rows.push(Row {
+        scale_name,
+        kernel: "matmul",
+        shape: format!("{m}x{k}x{n}"),
+        unit: "gflops",
+        naive,
+        tiled,
+        bitwise_identical: bitwise_eq(&n_out, &t_out),
+    });
+}
+
+fn bench_transpose(scale_name: &'static str, r: usize, c: usize, rows: &mut Vec<Row>) {
+    let t = Tensor::from_vec(r, c, fill(r * c, 7));
+    // Each element is read once and written once.
+    let gbytes = 2.0 * r as f64 * c as f64 * 4.0 / 1e9;
+    let (naive, n_out) = rate(gbytes, || t.transpose_naive());
+    let (tiled, t_out) = rate(gbytes, || t.transpose());
+    rows.push(Row {
+        scale_name,
+        kernel: "transpose",
+        shape: format!("{r}x{c}"),
+        unit: "gbps",
+        naive,
+        tiled,
+        bitwise_identical: bitwise_eq(&n_out, &t_out),
+    });
+}
+
+fn main() {
+    let scale = bench_scale().0;
+    let threads = num_threads();
+    let mut rows = Vec::new();
+
+    // Matmul flops are cubic in the edge: scale edges by cbrt(scale) so
+    // the flop count scales linearly with the knob.
+    let cbrt = scale.cbrt();
+    let edge = |base: f64| ((base * cbrt) as usize).max(64);
+    // "Large" is sized to spill L2 even at fractional scales — that is
+    // the regime the blocked kernel exists for (B streamed from memory
+    // per output row vs. one L1-resident panel per row block).
+    let mm: [(&'static str, usize); 3] = [
+        ("small", edge(128.0)),
+        ("medium", edge(512.0)),
+        ("large", edge(1024.0)),
+    ];
+    for (name, e) in mm {
+        eprintln!("benchmarking matmul {name} ({e}x{e}x{e})...");
+        bench_matmul(name, e, e, e, &mut rows);
+    }
+
+    // Transpose bytes are quadratic: scale each side by sqrt(scale).
+    let sqrt = scale.sqrt();
+    let side = |base: f64| ((base * sqrt) as usize).max(64);
+    let tp: [(&'static str, usize, usize); 3] = [
+        ("small", side(512.0), side(256.0)),
+        ("medium", side(2048.0), side(1024.0)),
+        ("large", side(4096.0), side(2048.0)),
+    ];
+    for (name, r, c) in tp {
+        eprintln!("benchmarking transpose {name} ({r}x{c})...");
+        bench_transpose(name, r, c, &mut rows);
+    }
+
+    let all_identical = rows.iter().all(|r| r.bitwise_identical);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"all_bitwise_identical\": {all_identical},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scale\": \"{}\", \"kernel\": \"{}\", \"shape\": \"{}\", \
+             \"unit\": \"{}\", \"naive\": {:.3}, \"tiled\": {:.3}, \
+             \"speedup\": {:.3}, \"bitwise_identical\": {}}}",
+            r.scale_name,
+            r.kernel,
+            r.shape,
+            r.unit,
+            r.naive,
+            r.tiled,
+            r.tiled / r.naive,
+            r.bitwise_identical
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_dense.json", &json).expect("write BENCH_dense.json");
+
+    println!(
+        "{:<8} {:<10} {:<14} {:<7} {:>10} {:>10} {:>8}  bitwise",
+        "scale", "kernel", "shape", "unit", "naive", "tiled", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:<10} {:<14} {:<7} {:>10.3} {:>10.3} {:>8.3}  {}",
+            r.scale_name,
+            r.kernel,
+            r.shape,
+            r.unit,
+            r.naive,
+            r.tiled,
+            r.tiled / r.naive,
+            if r.bitwise_identical {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!("\n{threads} threads; wrote BENCH_dense.json");
+    assert!(all_identical, "tiled kernels drifted from naive output");
+}

@@ -122,7 +122,9 @@ pub fn magnn_plan() -> AggrPlan {
 /// Dense Update stage shared by every system: `relu(h · w)`, with a
 /// square weight so layers compose.
 fn update(h: &Tensor, w: &Tensor) -> Tensor {
-    h.matmul(w).relu()
+    let mut out = h.matmul(w);
+    out.relu_inplace();
+    out
 }
 
 /// Builds a flat HDG from precomputed neighbor lists.

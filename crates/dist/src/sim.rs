@@ -282,7 +282,11 @@ fn sim_flexgraph(graph: &Graph, shards: &[Shard], cfg: &DistConfig, pipeline: bo
         }
         .expect("unbudgeted aggregation cannot fail");
         let out = match &cfg.update_weight {
-            Some(wt) => upper.features.matmul(wt).relu(),
+            Some(wt) => {
+                let mut out = upper.features.matmul(wt);
+                out.relu_inplace();
+                out
+            }
             None => upper.features,
         };
         let t_upper = t3.elapsed();
@@ -464,7 +468,11 @@ fn sim_minibatch(
         }
         .expect("unbudgeted aggregation cannot fail");
         let out = match &cfg.update_weight {
-            Some(wt) => upper.features.matmul(wt).relu(),
+            Some(wt) => {
+                let mut out = upper.features.matmul(wt);
+                out.relu_inplace();
+                out
+            }
             None => upper.features,
         };
         total += t4.elapsed();

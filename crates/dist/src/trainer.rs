@@ -259,7 +259,11 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
 
 fn apply_update(agg: Tensor, cfg: &DistConfig) -> Tensor {
     match &cfg.update_weight {
-        Some(w) => agg.matmul(w).relu(),
+        Some(w) => {
+            let mut out = agg.matmul(w);
+            out.relu_inplace();
+            out
+        }
         None => agg,
     }
 }

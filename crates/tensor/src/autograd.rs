@@ -18,6 +18,7 @@ use crate::scatter::{
     ScatterPlan,
 };
 use crate::tensor::Tensor;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Handle to a node on the tape.
@@ -91,6 +92,12 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    /// Transposes computed during backward, keyed by node index. A node
+    /// feeding several matmuls (shared weights, multi-head inputs) is
+    /// transposed once per pass instead of once per consumer; values on
+    /// the tape are immutable after [`Graph::push`], so entries never go
+    /// stale within the pass.
+    tcache: HashMap<usize, Arc<Tensor>>,
 }
 
 impl Graph {
@@ -307,6 +314,17 @@ impl Graph {
         }
     }
 
+    /// The transpose of node `id`'s value, computed at most once per
+    /// pass.
+    fn cached_transpose(&mut self, id: NodeId) -> Arc<Tensor> {
+        if let Some(t) = self.tcache.get(&id.0) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(self.nodes[id.0].value.transpose());
+        self.tcache.insert(id.0, Arc::clone(&t));
+        t
+    }
+
     /// Adds `g` into the pending gradient of `id`.
     fn add_grad(&mut self, id: NodeId, g: Tensor) {
         match &mut self.nodes[id.0].grad {
@@ -322,8 +340,12 @@ impl Graph {
         match &op {
             Op::Leaf | Op::Param { .. } => {}
             Op::MatMul(a, b) => {
-                let ga = grad.matmul(&self.value(*b).transpose());
-                let gb = self.value(*a).transpose().matmul(grad);
+                // dA = dC·Bᵀ, dB = Aᵀ·dC, with both transposes cached
+                // across the pass (see `tcache`).
+                let bt = self.cached_transpose(*b);
+                let at = self.cached_transpose(*a);
+                let ga = grad.matmul(&bt);
+                let gb = at.matmul(grad);
                 self.add_grad(*a, ga);
                 self.add_grad(*b, gb);
             }
@@ -822,6 +844,39 @@ mod tests {
         g.collect_grads(&mut sink);
         assert_eq!(sink[0].get(0, 0), 3.0);
         assert_eq!(sink[1].get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn matmul_backward_caches_shared_transposes() {
+        // x feeds two matmuls; backward must transpose it once, not per
+        // consumer — and the cached-path gradients must still be exact.
+        let x = sample_input();
+        let w = Tensor::from_rows(&[&[0.2, -0.5], &[1.0, 0.3], &[-0.8, 0.6]]);
+        let mut g = Graph::new();
+        let xn = g.param(x, 0);
+        let w1 = g.param(w.clone(), 1);
+        let w2 = g.param(w.scale(0.5), 2);
+        let y1 = g.matmul(xn, w1);
+        let y2 = g.matmul(xn, w2);
+        let s = g.add(y1, y2);
+        let loss = g.mean_all(s);
+        g.backward(loss);
+        // One entry per distinct matmul operand: xn, w1, w2.
+        assert_eq!(g.tcache.len(), 3);
+        assert!(g.grad(xn).is_some() && g.grad(w1).is_some() && g.grad(w2).is_some());
+
+        finite_diff_check(
+            sample_input(),
+            move |g, x| {
+                let w1 = g.leaf(w.clone());
+                let w2 = g.leaf(w.scale(0.5));
+                let y1 = g.matmul(x, w1);
+                let y2 = g.matmul(x, w2);
+                let s = g.add(y1, y2);
+                g.mean_all(s)
+            },
+            1e-2,
+        );
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * a tape-based reverse-mode autograd engine ([`autograd::Graph`]) so
 //!   that GCN / PinSage / MAGNN train end-to-end,
 //! * SGD and Adam optimizers and a softmax cross-entropy loss,
-//! * chunked, auto-vectorizable inner loops and a scoped-thread
+//! * chunked, auto-vectorizable inner loops and a persistent worker-pool
 //!   `parallel_for` standing in for the paper's AVX-512 feature-fusion
-//!   kernels (§6, "Hybrid aggregate executions").
+//!   kernels inside long-lived workers (§6, "Hybrid aggregate
+//!   executions"), plus cache-blocked matmul/transpose for the dense
+//!   update stage.
 //!
 //! # Examples
 //!
@@ -42,7 +44,7 @@ pub use autograd::{Graph, NodeId};
 pub use fusion::{segment_reduce, Reduce};
 pub use init::xavier_uniform;
 pub use optim::{Adam, Optimizer, ParamSet, Sgd};
-pub use par::{num_threads, set_thread_override};
+pub use par::{num_threads, pool_worker_count, set_thread_override};
 pub use scatter::{
     gather_rows, scatter_add, scatter_add_gathered_into, scatter_add_with_plan, scatter_max,
     scatter_max_with_plan, scatter_mean, scatter_mean_with_plan, scatter_min,

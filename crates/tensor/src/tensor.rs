@@ -6,8 +6,46 @@
 //! 3-D reshapes (paper Figure 10) are expressed as row-block views over the
 //! same buffer via [`Tensor::reshape_rows`].
 
-use crate::par::parallel_for;
+use crate::par::{parallel_for, parallel_ranges, SendPtr};
 use std::fmt;
+
+/// Matmul row-block size: the unit of parallel work handed to the pool
+/// (each worker owns `MC`-row blocks of the output).
+const MC: usize = 64;
+/// Matmul K-tile depth. The K loop is tiled in a *fixed ascending
+/// order* independent of threading, so every output element accumulates
+/// its products in exactly the naive kernel's order — the tiled path is
+/// bitwise identical to the naive one for any thread count.
+const KC: usize = 128;
+/// Matmul column-tile width. One packed `KC×NC` B-panel is `128 × 64 ×
+/// 4 B = 32 KiB` — sized to sit in L1d while every row of an `MC` block
+/// (and every row of the matrix, across blocks) re-reads it.
+const NC: usize = 64;
+/// Register-tile width of the micro-kernel: `NR` output accumulators
+/// are held in registers across the whole K-tile, cutting per-product
+/// output-row loads/stores by a factor of `KC`.
+const NR: usize = 16;
+/// Register-tile height: the micro-kernel advances `MR` output rows at
+/// once so every B-tile row it loads from L1 is reused `MR`-fold —
+/// load-port pressure, not arithmetic, is the bound once the panel is
+/// cache-resident. Rows in a group need not be adjacent (zero rows are
+/// filtered out first); each row's accumulation chain is untouched, so
+/// bitwise identity with the naive kernel is preserved. Tuned by
+/// measurement (`dense_baseline`): 3×16 keeps the 2·NR/8 accumulator
+/// vectors per row plus the shared B vectors inside the 16 AVX2
+/// registers; 4×16 and 6×8 both measured slower.
+const MR: usize = 3;
+/// Flop threshold (`2·m·k·n`) below which matmul skips tiling: packing
+/// and dispatch overheads dominate on the small weight matrices of the
+/// model layers, and the naive order is bitwise identical anyway.
+const MATMUL_TILE_CUTOFF: usize = 2 * 64 * 64 * 64;
+/// Transpose block edge: a `32×32` tile touches 32 cache lines on each
+/// side, small enough to keep both in L1 while the tile turns.
+const TB: usize = 32;
+/// Element count below which transpose takes the unblocked loop: the
+/// whole matrix sits in L2 anyway and the blocked loop's bookkeeping
+/// measures slower there (`dense_baseline`, "small" point).
+const TRANSPOSE_TILE_CUTOFF: usize = 128 * 1024;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -249,16 +287,38 @@ impl Tensor {
         out
     }
 
-    /// Rectified linear unit.
+    /// Rectified linear unit, into a new tensor.
     pub fn relu(&self) -> Self {
-        self.map(|x| x.max(0.0))
+        let mut out = self.clone();
+        out.relu_inplace();
+        out
     }
 
-    /// Matrix product `self · other`, parallelized over row blocks.
+    /// In-place rectified linear unit: `x = max(x, 0)` elementwise.
     ///
-    /// The inner loop runs over the shared dimension with the right operand
-    /// accessed row-wise, which keeps the access pattern sequential so that
-    /// the compiler auto-vectorizes the multiply-accumulate.
+    /// The allocation-free form used by forward passes that own their
+    /// activations (the distributed update step, inference paths).
+    /// Bitwise identical to [`Tensor::relu`].
+    pub fn relu_inplace(&mut self) {
+        for x in &mut self.data {
+            *x = x.max(0.0);
+        }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// Large products run blocked/tiled — see [`Tensor::matmul_naive`]
+    /// for the reference kernel this is measured against. B is packed
+    /// once into L1-sized `KC×NC` panels; each `MC`-row block of the
+    /// output (the unit of pool parallelism) then re-reads a hot panel
+    /// instead of streaming all of B from memory per row, and an
+    /// `NR`-wide register tile keeps output accumulators out of memory
+    /// across each K-tile. The K loop is tiled in fixed ascending order
+    /// independent of threading, so for every output element the
+    /// products accumulate in exactly the naive kernel's order: the
+    /// result is **bitwise identical** to [`Tensor::matmul_naive`] for
+    /// any `FLEXGRAPH_THREADS`. Small products (under
+    /// [`MATMUL_TILE_CUTOFF`] flops) skip tiling entirely.
     ///
     /// # Panics
     ///
@@ -271,23 +331,124 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
+        if 2 * m * k * n < MATMUL_TILE_CUTOFF {
+            matmul_rows_serial(&self.data, &other.data, &mut out.data, k, n, 0..m);
+            return out;
+        }
+
         let a = &self.data;
-        let b = &other.data;
-        parallel_for(m, out.data.as_mut_slice(), n, |r0, chunk| {
-            for (ri, out_row) in chunk.chunks_mut(n).enumerate() {
-                let r = r0 + ri;
-                let arow = &a[r * k..(r + 1) * k];
-                // All-zero rows (isolated vertices, padded batches) are
-                // common enough to test for, but a per-element zero test
-                // inside the hot loop defeats the multiply-accumulate
-                // vectorization — check once per row instead.
-                if arow.iter().all(|&av| av == 0.0) {
-                    continue;
+        // All-zero rows (isolated vertices, padded batches) are common
+        // enough to test for, but the test must cover the *whole* row —
+        // skipping per K-tile would elide `0.0 * x` additions the naive
+        // kernel performs (visible through -0.0 and non-finite values).
+        let nonzero: Vec<bool> = (0..m)
+            .map(|r| a[r * k..(r + 1) * k].iter().any(|&v| v != 0.0))
+            .collect();
+        let bpack = pack_b_tiles(&other.data, k, n);
+
+        let out_ptr = SendPtr::new(out.data.as_mut_ptr());
+        let tiles_n = n.div_ceil(NC);
+        let tiles_k = k.div_ceil(KC);
+        parallel_ranges(m, MC, |range| {
+            let mut live = Vec::with_capacity(MC);
+            let mut b0 = range.start;
+            while b0 < range.end {
+                let b1 = (b0 + MC).min(range.end);
+                // The micro-kernel wants `MR` rows at a time so each
+                // B-tile row it loads is reused `MR`-fold; zero rows are
+                // filtered out up front so groups are always full of
+                // live rows (they need not be adjacent in A).
+                live.clear();
+                live.extend((b0..b1).filter(|&r| nonzero[r]));
+                // Tile loops outside the row loop: one `KC×NC` panel
+                // stays L1-hot while all rows of the block consume it.
+                for nt in 0..tiles_n {
+                    let ncs = nt * NC;
+                    let nb = NC.min(n - ncs);
+                    let stripe = &bpack[k * ncs..k * ncs + k * nb];
+                    for kt in 0..tiles_k {
+                        let kcs = kt * KC;
+                        let kb = KC.min(k - kcs);
+                        let tile = &stripe[kcs * nb..kcs * nb + kb * nb];
+                        for grp in live.chunks(MR) {
+                            // SAFETY: each row belongs to exactly one
+                            // dispatched range and appears once in
+                            // `live`; ranges are disjoint.
+                            let orow = |r: usize| unsafe {
+                                std::slice::from_raw_parts_mut(out_ptr.get().add(r * n + ncs), nb)
+                            };
+                            if let Ok(rs) = <[usize; MR]>::try_from(grp) {
+                                let at = rs.map(|r| &a[r * k + kcs..r * k + kcs + kb]);
+                                matmul_micro_m(at, tile, rs.map(orow), nb);
+                            } else {
+                                for &r in grp {
+                                    let atile = &a[r * k + kcs..r * k + kcs + kb];
+                                    matmul_micro(atile, tile, orow(r), nb);
+                                }
+                            }
+                        }
+                    }
                 }
-                for (kk, &av) in arow.iter().enumerate() {
-                    let brow = &b[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(brow) {
-                        *o += av * bv;
+                b0 = b1;
+            }
+        });
+        out
+    }
+
+    /// Reference matrix product: the seed's single-threaded triple loop
+    /// (row-major, K-major inner, zero-row hoist). Kept as the ground
+    /// truth the tiled [`Tensor::matmul`] is bitwise-compared against
+    /// and the baseline `dense_baseline` measures speedups over.
+    pub fn matmul_naive(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner dims: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
+        matmul_rows_serial(&self.data, &other.data, &mut out.data, k, n, 0..m);
+        out
+    }
+
+    /// Transpose into a new tensor, in `TB×TB` cache blocks.
+    ///
+    /// The seed walked the source row-major and the destination with a
+    /// `rows`-element stride — one cache line touched per element on
+    /// the write side. Blocking turns one `TB×TB` tile at a time so
+    /// both sides stay within L1; the output is identical (a transpose
+    /// is pure data movement), and row-chunks of the output are
+    /// computed independently through the worker pool. Small matrices
+    /// (under [`TRANSPOSE_TILE_CUTOFF`] elements) take the unblocked
+    /// loop.
+    pub fn transpose(&self) -> Self {
+        let (rows, cols) = (self.rows, self.cols);
+        if rows * cols < TRANSPOSE_TILE_CUTOFF {
+            return self.transpose_naive();
+        }
+        let mut out = Tensor::zeros(cols, rows);
+        if rows == 0 || cols == 0 {
+            return out;
+        }
+        let src = &self.data;
+        parallel_for(cols, out.data.as_mut_slice(), rows, |c0, chunk| {
+            let ncols = chunk.len() / rows;
+            for cb in (0..ncols).step_by(TB) {
+                let cbe = (cb + TB).min(ncols);
+                for rb in (0..rows).step_by(TB) {
+                    let rbe = (rb + TB).min(rows);
+                    for ci in cb..cbe {
+                        let orow = &mut chunk[ci * rows..(ci + 1) * rows];
+                        let c = c0 + ci;
+                        for r in rb..rbe {
+                            orow[r] = src[r * cols + c];
+                        }
                     }
                 }
             }
@@ -295,8 +456,9 @@ impl Tensor {
         out
     }
 
-    /// Transpose into a new tensor.
-    pub fn transpose(&self) -> Self {
+    /// Reference transpose: the seed's unblocked double loop. Kept for
+    /// the `dense_baseline` bench's naive-vs-tiled comparison.
+    pub fn transpose_naive(&self) -> Self {
         let mut out = Tensor::zeros(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
@@ -307,6 +469,7 @@ impl Tensor {
     }
 
     /// Horizontal concatenation `[self | other]` (equal row counts).
+    /// Allocates the exact output size once.
     pub fn concat_cols(&self, other: &Self) -> Self {
         assert_eq!(self.rows, other.rows, "concat_cols needs equal row counts");
         let cols = self.cols + other.cols;
@@ -322,10 +485,13 @@ impl Tensor {
         }
     }
 
-    /// Vertical concatenation (equal column counts).
+    /// Vertical concatenation (equal column counts). Allocates the
+    /// exact output size once (the seed cloned `self`'s buffer and then
+    /// grew it, paying a reallocation plus copy on every call).
     pub fn concat_rows(&self, other: &Self) -> Self {
         assert_eq!(self.cols, other.cols, "concat_rows needs equal col counts");
-        let mut data = self.data.clone();
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
         Self {
             rows: self.rows + other.rows,
@@ -429,6 +595,133 @@ impl Tensor {
     /// Heap bytes held by the tensor buffer (used by the memory harnesses).
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+/// The seed's matmul inner loops, over an arbitrary row range: K-major
+/// with the right operand read row-wise (sequential, so the compiler
+/// vectorizes the multiply-accumulate), plus the whole-row zero hoist.
+/// Every per-element accumulation is the left-associated ascending-K
+/// chain the tiled kernel must reproduce exactly.
+fn matmul_rows_serial(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    n: usize,
+    rows: std::ops::Range<usize>,
+) {
+    for r in rows {
+        let arow = &a[r * k..(r + 1) * k];
+        if arow.iter().all(|&av| av == 0.0) {
+            continue;
+        }
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Packs a `k×n` row-major B into tile-blocked layout: column stripes of
+/// width `NC` stored contiguously (stripe `nt` starts at `k * nt*NC`),
+/// each stripe holding its `KC`-deep tiles in ascending K order (tile
+/// `kt` at offset `kt*KC * nb` within the stripe, row-major `kb×nb`).
+/// Total size is exactly `k*n`; edge tiles are narrower, never padded.
+fn pack_b_tiles(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = vec![0.0f32; k * n];
+    let tiles_n = n.div_ceil(NC);
+    let ptr = SendPtr::new(packed.as_mut_ptr());
+    parallel_ranges(tiles_n, 1, |stripes| {
+        for nt in stripes {
+            let ncs = nt * NC;
+            let nb = NC.min(n - ncs);
+            // SAFETY: stripe `nt` is written by exactly one range.
+            let stripe = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(k * ncs), k * nb) };
+            for (kk, dst) in stripe.chunks_exact_mut(nb).enumerate() {
+                dst.copy_from_slice(&b[kk * n + ncs..kk * n + ncs + nb]);
+            }
+        }
+    });
+    packed
+}
+
+/// Micro-kernel: accumulate one row's contribution from one packed
+/// `kb×nb` B-tile into `ostripe`. `NR` accumulators live in registers
+/// across the whole K-tile; the ragged tail runs the same ascending-K,
+/// one-product-at-a-time order, so the accumulation chain per output
+/// element is identical to [`matmul_rows_serial`]'s.
+#[inline]
+fn matmul_micro(atile: &[f32], tile: &[f32], ostripe: &mut [f32], nb: usize) {
+    let mut j = 0;
+    while j + NR <= nb {
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&ostripe[j..j + NR]);
+        for (kk, &av) in atile.iter().enumerate() {
+            let brow = &tile[kk * nb + j..kk * nb + j + NR];
+            for (x, &bv) in acc.iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+        ostripe[j..j + NR].copy_from_slice(&acc);
+        j += NR;
+    }
+    if j < nb {
+        for (kk, &av) in atile.iter().enumerate() {
+            let brow = &tile[kk * nb + j..(kk + 1) * nb];
+            for (x, &bv) in ostripe[j..].iter_mut().zip(brow) {
+                *x += av * bv;
+            }
+        }
+    }
+}
+
+/// Multi-row micro-kernel: identical per-row semantics to
+/// [`matmul_micro`], but each B row loaded from the L1-resident tile
+/// feeds `M` output rows' accumulators before the next load. Rows are
+/// independent, so interleaving them changes no accumulation chain.
+/// Instantiated at `M = MR`; generic so the register-tile height is one
+/// constant away from retuning.
+#[inline]
+fn matmul_micro_m<const M: usize>(
+    at: [&[f32]; M],
+    tile: &[f32],
+    mut os: [&mut [f32]; M],
+    nb: usize,
+) {
+    let kb = at[0].len();
+    let mut j = 0;
+    while j + NR <= nb {
+        let mut acc = [[0.0f32; NR]; M];
+        for (a, o) in acc.iter_mut().zip(os.iter()) {
+            a.copy_from_slice(&o[j..j + NR]);
+        }
+        for kk in 0..kb {
+            let brow = &tile[kk * nb + j..kk * nb + j + NR];
+            for (arow, a) in at.iter().zip(acc.iter_mut()) {
+                let av = arow[kk];
+                for (x, &bv) in a.iter_mut().zip(brow) {
+                    *x += av * bv;
+                }
+            }
+        }
+        for (a, o) in acc.iter().zip(os.iter_mut()) {
+            o[j..j + NR].copy_from_slice(a);
+        }
+        j += NR;
+    }
+    if j < nb {
+        for (arow, o) in at.iter().zip(os.iter_mut()) {
+            for (kk, &av) in arow.iter().enumerate() {
+                let brow = &tile[kk * nb + j..(kk + 1) * nb];
+                for (x, &bv) in o[j..].iter_mut().zip(brow) {
+                    *x += av * bv;
+                }
+            }
+        }
     }
 }
 
@@ -564,5 +857,79 @@ mod tests {
             }
         }
         assert!(c.max_abs_diff(&expect) < 1e-4);
+    }
+
+    /// Deterministic pseudo-random fill (xorshift-mixed LCG).
+    fn fill(t: &mut Tensor, mut seed: u64) {
+        for x in t.data_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = ((seed >> 40) as f32 / 8_388_608.0) - 1.0;
+        }
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "bit mismatch at flat index {i}");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive() {
+        // Above MATMUL_TILE_CUTOFF, with ragged edges in every tile
+        // dimension (m % MC, k % KC, n % NC, n % NR all nonzero).
+        let (m, k, n) = (67, 131, 83);
+        assert!(2 * m * k * n >= MATMUL_TILE_CUTOFF);
+        let mut a = Tensor::zeros(m, k);
+        let mut b = Tensor::zeros(k, n);
+        fill(&mut a, 0x5eed);
+        fill(&mut b, 0xfeed);
+        // Zero rows exercise the hoist; -0.0 rows must NOT be hoisted
+        // (they change output sign bits) and must match naive exactly.
+        a.data_mut()[3 * k..4 * k].fill(0.0);
+        a.data_mut()[65 * k..66 * k].fill(-0.0);
+        assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn tiled_matmul_matches_naive_with_nonfinite_values() {
+        let (m, k, n) = (65, 129, 80);
+        assert!(2 * m * k * n >= MATMUL_TILE_CUTOFF);
+        let mut a = Tensor::zeros(m, k);
+        let mut b = Tensor::zeros(k, n);
+        fill(&mut a, 1);
+        fill(&mut b, 2);
+        a.data_mut()[7 * k + 1] = f32::INFINITY;
+        a.data_mut()[40 * k + 128] = f32::NEG_INFINITY;
+        b.data_mut()[12 * n + 79] = f32::INFINITY;
+        assert_bits_eq(&a.matmul(&b), &a.matmul_naive(&b));
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive() {
+        // Above TRANSPOSE_TILE_CUTOFF so the blocked path actually
+        // runs, ragged against the 32-element block edge on both sides.
+        let mut t = Tensor::zeros(403, 331);
+        assert!(t.len() >= TRANSPOSE_TILE_CUTOFF);
+        fill(&mut t, 42);
+        assert_bits_eq(&t.transpose(), &t.transpose_naive());
+        assert_bits_eq(&t.transpose().transpose(), &t);
+        // Below the cutoff both paths are literally the same loop.
+        let mut s = Tensor::zeros(67, 129);
+        fill(&mut s, 43);
+        assert_bits_eq(&s.transpose(), &s.transpose_naive());
+    }
+
+    #[test]
+    fn relu_inplace_matches_relu_including_negative_zero() {
+        let mut t = Tensor::from_rows(&[&[-1.0, -0.0, 0.0, 2.0]]);
+        let by_value = t.relu();
+        t.relu_inplace();
+        assert_bits_eq(&t, &by_value);
+        // Whatever sign bit max(-0.0, 0.0) picks, both paths must agree
+        // (checked above) and the value must clamp to zero.
+        assert_eq!(t.get(0, 1), 0.0);
     }
 }

@@ -6,13 +6,14 @@
 //! order. These tests sweep `FLEXGRAPH_THREADS` ∈ {1, 2, 7, 16} through
 //! the runtime override and compare bit patterns, not tolerances.
 
+use flexgraph_tensor::fusion::segment_reduce_serial;
 use flexgraph_tensor::scatter::{
     gather_rows_serial, scatter_add_serial, scatter_max_serial, scatter_mean_serial,
     scatter_min_serial, scatter_softmax_serial,
 };
 use flexgraph_tensor::{
     gather_rows, scatter_add, scatter_max, scatter_mean, scatter_min, scatter_softmax,
-    set_thread_override, Tensor,
+    segment_reduce, set_thread_override, Reduce, Tensor,
 };
 use proptest::prelude::*;
 
@@ -177,6 +178,96 @@ fn infinities_preserve_seed_sentinel_semantics() {
     ]);
     let index = [0u32, 0, 2];
     check_all_kernels(&values, &index, 4);
+}
+
+#[test]
+fn tiled_matmul_is_bitwise_deterministic_across_threads() {
+    let _guard = sweep_guard();
+    // Past the tiling cutoff, with ragged edges in every tile dimension
+    // (m % MC, k % KC, n % NC, n % NR all nonzero) and a zero row for
+    // the hoist.
+    let (m, k, n) = (67, 131, 83);
+    let mut a = Tensor::from_vec(m, k, fill(m * k, 51));
+    let b = Tensor::from_vec(k, n, fill(k * n, 52));
+    a.row_mut(5).fill(0.0);
+    set_thread_override(Some(1));
+    let want = a.matmul_naive(&b);
+    for threads in THREAD_SWEEP {
+        set_thread_override(Some(threads));
+        assert_bitwise_eq(&a.matmul(&b), &want, "matmul", threads);
+        assert_bitwise_eq(&a.matmul_naive(&b), &want, "matmul_naive", threads);
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn blocked_transpose_is_bitwise_deterministic_across_threads() {
+    let _guard = sweep_guard();
+    // Past the blocked-transpose cutoff (487 × 277 > 128 Ki elements),
+    // ragged against the 32-element block edge on both sides.
+    let t = Tensor::from_vec(487, 277, fill(487 * 277, 61));
+    set_thread_override(Some(1));
+    let want = t.transpose_naive();
+    for threads in THREAD_SWEEP {
+        set_thread_override(Some(threads));
+        assert_bitwise_eq(&t.transpose(), &want, "transpose", threads);
+    }
+    set_thread_override(None);
+}
+
+#[test]
+fn segment_reduce_is_bitwise_deterministic_across_threads() {
+    let _guard = sweep_guard();
+    // 4096 destination-major edges over 300 skewed segments (segment 0
+    // owns a quarter of the edges; many segments are empty).
+    let feats = Tensor::from_vec(512, 16, fill(512 * 16, 71));
+    let segments = 300;
+    let edges = 4096;
+    let src: Vec<u32> = (0..edges)
+        .map(|e| ((e * 2654435761) % 512) as u32)
+        .collect();
+    let mut offsets = vec![0usize; segments + 1];
+    let mut at = 0usize;
+    for (i, o) in offsets.iter_mut().enumerate().skip(1) {
+        if i == 1 {
+            at += edges / 4;
+        } else if i % 3 != 0 {
+            at += (edges - edges / 4) / (segments - segments / 3);
+        }
+        *o = at.min(edges);
+    }
+    offsets[segments] = edges;
+    let src = &src[..];
+    let offsets = &offsets[..];
+
+    set_thread_override(Some(1));
+    let wants: Vec<Tensor> = [Reduce::Sum, Reduce::Mean, Reduce::Max, Reduce::Min]
+        .iter()
+        .map(|&k| segment_reduce(&feats, offsets, src, k))
+        .collect();
+    // The fused parallel Sum must also match the independent serial
+    // implementation, not just itself at one thread.
+    assert_bitwise_eq(
+        &wants[0],
+        &segment_reduce_serial(&feats, offsets, src),
+        "segment sum vs serial",
+        1,
+    );
+    for threads in THREAD_SWEEP {
+        set_thread_override(Some(threads));
+        for (kind, want) in [Reduce::Sum, Reduce::Mean, Reduce::Max, Reduce::Min]
+            .into_iter()
+            .zip(&wants)
+        {
+            assert_bitwise_eq(
+                &segment_reduce(&feats, offsets, src, kind),
+                want,
+                &format!("segment {kind:?}"),
+                threads,
+            );
+        }
+    }
+    set_thread_override(None);
 }
 
 proptest! {
