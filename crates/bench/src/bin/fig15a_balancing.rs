@@ -2,7 +2,7 @@
 //! epoch under PuLP-like, Hash and ADB partitionings on the Twitter
 //! stand-in with k = 8 workers, for all three models.
 
-use flexgraph::dist::{make_shards, simulated_epoch, DistConfig, DistMode};
+use flexgraph::dist::{distributed_epoch, make_shards, simulated_epoch, DistConfig, DistMode};
 use flexgraph::engine::hybrid::{AggrOp, AggrPlan, Strategy};
 use flexgraph::graph::gen::twitter_like;
 use flexgraph::graph::partition::{hash_partition, lp_partition};
@@ -14,16 +14,46 @@ use flexgraph_bench::{
     bench_scale, magnn_metapaths, secs, with_synthetic_types, MAGNN_INSTANCE_CAP,
 };
 
-/// Rebalances `part` with the library's online ADB controller (§6):
-/// record one epoch of running logs, fit, generate plans, apply the
+/// Rebalances `part` with the library's online ADB controller driven by
+/// *measured* running logs (§6): run one instrumented distributed epoch
+/// over the offline partitioning, feed the telemetry's per-root cost
+/// attribution into the controller, fit, generate plans, and apply the
 /// minimum-cut plan until balanced.
-fn adb_rebalance(g: &Graph, part: &Partitioning, hdg: &Hdg, dim: usize) -> Partitioning {
-    use flexgraph::dist::adb::{default_cost_proxy, AdbController};
+fn adb_rebalance(
+    ds: &Dataset,
+    part: &Partitioning,
+    hdg: &Hdg,
+    plan: AggrPlan,
+    leaf_op: AggrOp,
+    build: &dyn Fn(&[VertexId]) -> Hdg,
+) -> Partitioning {
+    use flexgraph::dist::adb::AdbController;
+    let dim = ds.feature_dim();
     let mut ctl = AdbController::new();
     ctl.balance_threshold = 1.05;
     ctl.max_steps = 12;
-    ctl.record_epoch(hdg, dim, &default_cost_proxy(hdg, dim));
-    ctl.maybe_rebalance(g, hdg, dim, part)
+
+    // The measuring epoch: every partition attributes cost units per
+    // root from its executed aggregation plan, keyed by global vertex
+    // id, so the merged trace covers the whole graph.
+    let shards = make_shards(ds.graph.num_vertices(), &ds.features, part, |r| build(r));
+    let cfg = DistConfig {
+        mode: DistMode::FlexGraph { pipeline: true },
+        leaf_op,
+        plan,
+        strategy: Strategy::Ha,
+        cost_model: CostModel::accounting_only(),
+        ..DistConfig::default()
+    };
+    let report = distributed_epoch(&ds.graph, &shards, &cfg);
+    let ingested = ctl.record_measured_epoch(hdg, dim, &report.telemetry);
+    assert_eq!(
+        ingested,
+        hdg.num_roots(),
+        "the measuring epoch must attribute a cost to every root"
+    );
+
+    ctl.maybe_rebalance(&ds.graph, hdg, dim, part)
         .unwrap_or_else(|| part.clone())
 }
 
@@ -109,8 +139,8 @@ fn main() {
         let pulp = lp_partition(&ds.graph, k, 15, 0.35, 7);
         let hash = hash_partition(&ds.graph, k);
         // ADB runs on top of the offline partitioner (§6: PulP or Hash
-        // offline, then online rebalancing).
-        let adb = adb_rebalance(&ds.graph, &pulp, &global_hdg, ds.feature_dim());
+        // offline, then online rebalancing from a measured epoch).
+        let adb = adb_rebalance(&ds, &pulp, &global_hdg, plan, leaf_op, &*build);
         let t_pulp = epoch_secs(&ds, &pulp, plan, leaf_op, &*build);
         let t_hash = epoch_secs(&ds, &hash, plan, leaf_op, &*build);
         let t_adb = epoch_secs(&ds, &adb, plan, leaf_op, &*build);

@@ -1,0 +1,143 @@
+//! Renders a `FLEXGRAPH_TRACE` JSONL file into a human-readable
+//! per-stage / per-partition breakdown.
+//!
+//! ```text
+//! cargo run --release --bin trace_summary -- trace.jsonl
+//! ```
+//!
+//! With no argument, generates a 2-epoch demo trace in a temp file
+//! first (so `trace_summary` doubles as a smoke test of the whole
+//! telemetry path) and summarizes that.
+
+use flexgraph::obs::{self, Stage, TraceLine};
+use std::collections::BTreeMap;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => demo_trace(),
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read trace {path:?}: {e}"));
+
+    let mut wall_mode = false;
+    // (epoch, partition) → (record, roots digest); epoch → summary line.
+    type PartEntry = (obs::PartitionRecord, (u64, u64, u64));
+    let mut parts: BTreeMap<(u64, u32), PartEntry> = BTreeMap::new();
+    let mut epochs: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new(); // parts, work, fabric bytes
+    for (i, line) in text.lines().enumerate() {
+        match obs::parse_line(line) {
+            Ok(TraceLine::Meta { version, wall }) => {
+                println!("trace {path} (format v{version}, wall={wall})");
+                wall_mode = wall;
+            }
+            Ok(TraceLine::Part { record, roots, .. }) => {
+                parts.insert((record.epoch, record.partition), (record, roots));
+            }
+            Ok(TraceLine::Epoch {
+                epoch,
+                parts: p,
+                work,
+                fabric,
+                ..
+            }) => {
+                epochs.insert(epoch, (p, work, fabric.bytes));
+            }
+            Err(e) => panic!("line {}: schema violation: {e}", i + 1),
+        }
+    }
+
+    for (epoch, (k, work, fabric_bytes)) in &epochs {
+        println!("\nepoch {epoch}: {k} partitions, {work} work units, {fabric_bytes} fabric bytes");
+        let header = if wall_mode {
+            format!(
+                "{:>5} {:>10} {:>12} {:>12} {:>9}",
+                "part", "stage", "work", "wall_ms", "msgs"
+            )
+        } else {
+            format!("{:>5} {:>10} {:>12} {:>9}", "part", "stage", "work", "msgs")
+        };
+        println!("{header}");
+        for ((e, p), (rec, roots)) in &parts {
+            if e != epoch {
+                continue;
+            }
+            let mut first = true;
+            for st in Stage::ALL {
+                let s = rec.stage(st);
+                if s.invocations == 0 {
+                    continue;
+                }
+                let part_col = if first {
+                    format!("{p}{}", if rec.pipelined { "*" } else { "" })
+                } else {
+                    String::new()
+                };
+                let msgs_col = if first {
+                    rec.comm.messages.to_string()
+                } else {
+                    String::new()
+                };
+                if wall_mode {
+                    println!(
+                        "{:>5} {:>10} {:>12} {:>12.3} {:>9}",
+                        part_col,
+                        st.name(),
+                        s.work,
+                        s.wall_ns as f64 / 1e6,
+                        msgs_col
+                    );
+                } else {
+                    println!(
+                        "{:>5} {:>10} {:>12} {:>9}",
+                        part_col,
+                        st.name(),
+                        s.work,
+                        msgs_col
+                    );
+                }
+                first = false;
+            }
+            let &(rc, rt, rmax) = roots;
+            if rc > 0 {
+                println!(
+                    "{:>5} {:>10} {:>12} (roots: {} attributed, max {})",
+                    "", "roots", rt, rc, rmax
+                );
+            }
+        }
+    }
+    if epochs.is_empty() {
+        println!("(no epoch records)");
+    } else {
+        println!("\n(* = pipelined leaf level)");
+    }
+}
+
+/// Runs a tiny 2-epoch distributed training with tracing on and returns
+/// the trace path.
+fn demo_trace() -> String {
+    use flexgraph::dist::{distributed_epoch, make_shards, DistConfig};
+    use flexgraph::graph::partition::hash_partition;
+    use flexgraph::hdg::build::from_direct_neighbors;
+
+    let path = std::env::temp_dir()
+        .join(format!("flexgraph_demo_trace_{}.jsonl", std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_string();
+    obs::start_trace(&path).expect("temp trace file");
+
+    let ds = flexgraph::graph::gen::community(160, 4, 5, 2, 8, 11);
+    let part = hash_partition(&ds.graph, 3);
+    let shards = make_shards(ds.graph.num_vertices(), &ds.features, &part, |r| {
+        from_direct_neighbors(&ds.graph, r.to_vec())
+    });
+    let cfg = DistConfig::default();
+    for _ in 0..2 {
+        distributed_epoch(&ds.graph, &shards, &cfg);
+    }
+    obs::finish_trace();
+    println!("(no trace given — generated a demo trace from a 2-epoch run)");
+    path
+}

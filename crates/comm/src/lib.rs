@@ -31,4 +31,4 @@ pub use codec::{
     try_decode_rows_with, DecodeError,
 };
 pub use fabric::{CommError, Fabric, Message, RetryPolicy, WorkerComm};
-pub use stats::{CommStats, CostModel};
+pub use stats::{CommStats, CostModel, StatsSnapshot};

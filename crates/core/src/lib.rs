@@ -20,7 +20,9 @@
 //! * [`comm`] — the simulated MPI fabric,
 //! * [`dist`] — distributed training with ADB balancing and pipeline
 //!   processing,
-//! * [`models`] — GCN, PinSage, MAGNN, P-GNN, JK-Net in NAU.
+//! * [`models`] — GCN, PinSage, MAGNN, P-GNN, JK-Net in NAU,
+//! * [`obs`] — epoch telemetry: per-stage/per-root running logs and the
+//!   deterministic `FLEXGRAPH_TRACE` JSONL writer.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use flexgraph_engine as engine;
 pub use flexgraph_graph as graph;
 pub use flexgraph_hdg as hdg;
 pub use flexgraph_models as models;
+pub use flexgraph_obs as obs;
 pub use flexgraph_tensor as tensor;
 
 /// The most commonly used items in one import.
@@ -66,5 +69,6 @@ pub mod prelude {
     pub use flexgraph_models::{
         EpochStats, GGcn, Gcn, Gin, JkNet, Magnn, Model, Pgnn, PinSage, TrainConfig, Trainer,
     };
+    pub use flexgraph_obs::{PartitionRecord, Stage, TraceEpoch};
     pub use flexgraph_tensor::{Graph as AutogradGraph, Tensor};
 }

@@ -12,6 +12,7 @@ use crate::balance::{
 };
 use flexgraph_graph::{Graph, Partitioning, VertexId};
 use flexgraph_hdg::Hdg;
+use flexgraph_obs::TraceEpoch;
 
 /// Online application-driven balancer state.
 pub struct AdbController {
@@ -52,6 +53,31 @@ impl AdbController {
                 products: p,
                 cost: c,
             }));
+    }
+
+    /// Records one epoch's *measured* running log — the telemetry the
+    /// distributed runtime collected (`EpochReport::telemetry`). Each
+    /// root with an attributed cost in the trace contributes one sample
+    /// pairing its metric products with the measured cost units; roots
+    /// the epoch never touched are skipped. This is the paper's actual
+    /// §6 loop (sample logs → fit → rebalance), as opposed to
+    /// [`default_cost_proxy`] which fabricates the costs analytically.
+    ///
+    /// Returns how many root samples were ingested.
+    pub fn record_measured_epoch(&mut self, hdg: &Hdg, dim: usize, trace: &TraceEpoch) -> usize {
+        let products = root_products(hdg, dim);
+        let mut added = 0usize;
+        for (r, p) in products.into_iter().enumerate() {
+            let v = hdg.root_id(r);
+            if let Some(units) = trace.root_cost(v) {
+                self.samples.push(CostSample {
+                    products: p,
+                    cost: units as f64,
+                });
+                added += 1;
+            }
+        }
+        added
     }
 
     /// Number of samples accumulated.

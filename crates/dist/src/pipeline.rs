@@ -204,10 +204,13 @@ pub fn leaf_level_pipelined(
     let d = local_feats.cols();
     let k = comm.num_workers();
     let me = comm.rank();
+    flexgraph_obs::set_pipelined(true);
 
     // (1) Sender side: one combined (partially aggregated) row per
     // remote slot when that compresses, else deduplicated raw rows —
     // either way a single batched message per peer (§5).
+    let send_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafSend);
+    let mut sent_bytes = 0u64;
     for p in 0..k {
         if p == me {
             continue;
@@ -217,13 +220,18 @@ pub fn leaf_level_pipelined(
         } else {
             encode_raw_rows(sync, local_feats, shard, p, d)
         };
+        sent_bytes += payload.len() as u64;
+        flexgraph_obs::record_send(payload.len() as u64, sync.partial_to[p]);
         comm.send(p, tag, payload)?;
     }
+    send_timer.stop(sent_bytes);
 
     // (2) Local aggregation overlaps with the in-flight messages —
     // executed as a slot-owned parallel fold through the cached plan.
+    let local_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafLocal);
     let mut slots = Tensor::zeros(sync.num_slots, d);
     scatter_add_gathered_into(&mut slots, local_feats, &sync.local_rows, &sync.local_plan);
+    local_timer.stop(sync.local_rows.len() as u64 * d as u64);
 
     // (3) Fold in arrivals in *rank order* (streamed; no per-row
     // allocation). f32 addition is not associative, so folding in
@@ -231,6 +239,8 @@ pub fn leaf_level_pipelined(
     // directed receive pins the fold order and keeps epoch outputs
     // bitwise identical under any chaos schedule. The overlap is
     // preserved — all messages were sent before the local fold started.
+    let fold_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafFold);
+    let mut fold_entries = 0u64;
     let num_vertices = shard.owner.len();
     for p in 0..k {
         if p == me {
@@ -238,17 +248,22 @@ pub fn leaf_level_pipelined(
         }
         let msg = comm.recv_tag_from(p, tag)?;
         if sync.partial_from[p] {
+            let mut rows = 0u64;
             let dim = decode_rows_with(&msg.payload, |i, row| {
+                rows += 1;
                 let dst = slots.row_mut(i as usize);
                 for (o, &x) in dst.iter_mut().zip(row) {
                     *o += x;
                 }
             });
             debug_assert_eq!(dim, d);
+            fold_entries += rows;
         } else {
             fold_raw_rows(sync, &mut slots, &msg.payload, p, d, num_vertices);
+            fold_entries += sync.remote_edges_by_owner[p].len() as u64;
         }
     }
+    fold_timer.stop(fold_entries * d as u64);
     Ok(slots)
 }
 
@@ -334,6 +349,8 @@ pub fn leaf_level_unpipelined(
     let me = comm.rank();
 
     // Ship raw rows: the distinct local vertices each peer depends on.
+    let send_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafSend);
+    let mut sent_bytes = 0u64;
     for p in 0..k {
         if p == me {
             continue;
@@ -351,8 +368,12 @@ pub fn leaf_level_unpipelined(
                 last = Some(row);
             }
         }
-        comm.send(p, tag, encode_rows(d, &rows))?;
+        let payload = encode_rows(d, &rows);
+        sent_bytes += payload.len() as u64;
+        flexgraph_obs::record_send(payload.len() as u64, false);
+        comm.send(p, tag, payload)?;
     }
+    send_timer.stop(sent_bytes);
 
     // Dataflow semantics: all remote features must arrive before the
     // Aggregate operation starts. Rows land in one flat table keyed by
@@ -372,8 +393,11 @@ pub fn leaf_level_unpipelined(
 
     // Aggregate everything at once; the local part runs as the same
     // planned slot-owned fold the pipelined mode uses.
+    let local_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafLocal);
     let mut slots = Tensor::zeros(sync.num_slots, d);
     scatter_add_gathered_into(&mut slots, local_feats, &sync.local_rows, &sync.local_plan);
+    local_timer.stop(sync.local_rows.len() as u64 * d as u64);
+    let fold_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::LeafFold);
     for &(i, leaf) in &sync.remote_edges {
         let off = remote_off[leaf as usize];
         debug_assert_ne!(off, u32::MAX, "peer shipped every depended-on row");
@@ -383,6 +407,7 @@ pub fn leaf_level_unpipelined(
             *o += x;
         }
     }
+    fold_timer.stop(sync.remote_edges.len() as u64 * d as u64);
     Ok(slots)
 }
 

@@ -30,6 +30,7 @@ use flexgraph_engine::hybrid::{
 use flexgraph_engine::MemoryBudget;
 use flexgraph_graph::bfs::k_hop_closure;
 use flexgraph_graph::{Graph, VertexId};
+use flexgraph_obs::{FabricCounters, PartitionRecord, TraceEpoch};
 use flexgraph_tensor::scatter::scatter_add;
 use flexgraph_tensor::Tensor;
 use std::collections::HashMap;
@@ -119,6 +120,12 @@ pub struct EpochReport {
     pub redeliveries: u64,
     /// Times the epoch was re-driven after a worker failure.
     pub recoveries: u32,
+    /// The merged running log of the epoch: per-partition stage samples,
+    /// per-root cost attribution, and fabric counters — what
+    /// `AdbController::record_measured_epoch` and the trace writer
+    /// consume. Records from failed (re-driven) attempts are discarded;
+    /// only the successful attempt is represented.
+    pub telemetry: TraceEpoch,
 }
 
 /// Runs one distributed epoch over the shards. `graph` is the replicated
@@ -142,6 +149,7 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
     let k = shards.len();
     let n = graph.num_vertices();
     let sync_plans = build_leaf_sync(shards);
+    let epoch_id = flexgraph_obs::next_epoch();
 
     let mut recoveries = 0u32;
     let (mut acc_bytes, mut acc_messages) = (0u64, 0u64);
@@ -161,51 +169,61 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
             fabric.set_chaos(sched);
         }
 
-        let results: Vec<(usize, Result<Tensor, CommError>, Duration)> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = comms
-                    .into_iter()
-                    .map(|mut comm| {
-                        let shard = &shards[comm.rank()];
-                        let sync = &sync_plans[comm.rank()];
-                        let cfg = cfg.clone();
-                        s.spawn(move |_| {
-                            let started = comm.barrier();
-                            let t0 = Instant::now();
-                            let out = started.and_then(|()| match cfg.mode {
-                                DistMode::FlexGraph { pipeline } => {
-                                    flexgraph_worker_epoch(shard, sync, &mut comm, &cfg, pipeline)
-                                }
-                                DistMode::EulerLike { batch_size } => minibatch_worker_epoch(
-                                    shard, sync, &mut comm, &cfg, batch_size, None,
-                                ),
-                                DistMode::DistDglLike { batch_size, hops } => {
-                                    minibatch_worker_epoch(
-                                        shard,
-                                        sync,
-                                        &mut comm,
-                                        &cfg,
-                                        batch_size,
-                                        Some(hops),
-                                    )
-                                }
-                            });
-                            let elapsed = t0.elapsed();
-                            if out.is_ok() {
-                                // Exit barrier: keeps this worker pumping
-                                // acks/retransmits until every peer has
-                                // finished. Its error (a peer died after
-                                // we finished) is subsumed by that peer's
-                                // own failure, which forces the re-drive.
-                                let _ = comm.barrier();
+        type WorkerResult = (
+            usize,
+            Result<Tensor, CommError>,
+            Duration,
+            Option<PartitionRecord>,
+        );
+        let results: Vec<WorkerResult> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| {
+                    let shard = &shards[comm.rank()];
+                    let sync = &sync_plans[comm.rank()];
+                    let cfg = cfg.clone();
+                    s.spawn(move |_| {
+                        let started = comm.barrier();
+                        // Each attempt gets a fresh probe; records of
+                        // failed attempts are discarded with the attempt.
+                        flexgraph_obs::probe_begin(epoch_id, comm.rank() as u32);
+                        let t0 = Instant::now();
+                        let out = started.and_then(|()| match cfg.mode {
+                            DistMode::FlexGraph { pipeline } => {
+                                flexgraph_worker_epoch(shard, sync, &mut comm, &cfg, pipeline)
                             }
-                            (comm.rank(), out, elapsed)
-                        })
+                            DistMode::EulerLike { batch_size } => minibatch_worker_epoch(
+                                shard, sync, &mut comm, &cfg, batch_size, None,
+                            ),
+                            DistMode::DistDglLike { batch_size, hops } => minibatch_worker_epoch(
+                                shard,
+                                sync,
+                                &mut comm,
+                                &cfg,
+                                batch_size,
+                                Some(hops),
+                            ),
+                        });
+                        let elapsed = t0.elapsed();
+                        if out.is_ok() {
+                            attribute_root_costs(shard, sync);
+                        }
+                        let record = flexgraph_obs::probe_end();
+                        if out.is_ok() {
+                            // Exit barrier: keeps this worker pumping
+                            // acks/retransmits until every peer has
+                            // finished. Its error (a peer died after
+                            // we finished) is subsumed by that peer's
+                            // own failure, which forces the re-drive.
+                            let _ = comm.barrier();
+                        }
+                        (comm.rank(), out, elapsed, record)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker panicked");
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("worker panicked");
 
         acc_bytes += fabric.stats().bytes();
         acc_messages += fabric.stats().messages();
@@ -216,7 +234,7 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
 
         let failures: Vec<(usize, CommError)> = results
             .iter()
-            .filter_map(|(rank, out, _)| out.as_ref().err().map(|e| (*rank, e.clone())))
+            .filter_map(|(rank, out, _, _)| out.as_ref().err().map(|e| (*rank, e.clone())))
             .collect();
         if !failures.is_empty() {
             recoveries += 1;
@@ -228,20 +246,36 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
             continue;
         }
 
-        // Assemble per-root outputs into the global order.
+        // Assemble per-root outputs into the global order, and merge the
+        // workers' telemetry records into the epoch's running log.
         let mut wall = Duration::ZERO;
         let mut d_out = 0;
-        for (_, out, elapsed) in &results {
+        for (_, out, elapsed, _) in &results {
             wall = wall.max(*elapsed);
             d_out = out.as_ref().expect("no failures").cols();
         }
         let mut features = Tensor::zeros(n, d_out);
-        for (rank, out, _) in results {
+        let mut telemetry = TraceEpoch::new(epoch_id);
+        for (rank, out, _, record) in results {
             let out = out.expect("no failures");
             for (i, &v) in shards[rank].roots.iter().enumerate() {
                 features.row_mut(v as usize).copy_from_slice(out.row(i));
             }
+            if let Some(rec) = record {
+                telemetry.absorb(rec);
+            }
         }
+        // Fabric traffic of the successful attempt is deterministic; the
+        // fault-path counters carry the accumulated totals across all
+        // attempts (debug-only in traces).
+        telemetry.fabric = FabricCounters {
+            bytes: fabric.stats().bytes(),
+            messages: fabric.stats().messages(),
+            retries: acc_retries,
+            drops_injected: acc_drops,
+            redeliveries: acc_redeliveries,
+        };
+        flexgraph_obs::emit_epoch(&telemetry);
 
         return EpochReport {
             features,
@@ -253,15 +287,41 @@ pub fn distributed_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> E
             drops_injected: acc_drops,
             redeliveries: acc_redeliveries,
             recoveries,
+            telemetry,
         };
+    }
+}
+
+/// Attributes deterministic per-root cost units into the active probe:
+/// `5 + (leaf_entries + instances + types) × dim` per root, where
+/// `leaf_entries` is the executed plan's slot-count segment for the root
+/// (the ScatterPlan fold sizes), mirroring the shape of the balancer's
+/// polynomial metric variables (§6). Keyed by *global* vertex id so the
+/// merged epoch record covers the whole graph.
+fn attribute_root_costs(shard: &Shard, sync: &LeafSync) {
+    if !flexgraph_obs::probe_active() {
+        return;
+    }
+    let d = shard.feats.cols() as u64;
+    let t = shard.hdg.num_types() as u64;
+    for r in 0..shard.hdg.num_roots() {
+        let lo = sync.root_slot_off[r];
+        let hi = sync.root_slot_off[r + 1];
+        let leaf_entries: u64 = sync.slot_counts[lo..hi].iter().map(|&c| c as u64).sum();
+        let instances = shard.hdg.instances_of_root(r) as u64;
+        let units = 5 + (leaf_entries + instances + t) * d;
+        flexgraph_obs::record_root_cost(shard.roots[r], units);
     }
 }
 
 fn apply_update(agg: Tensor, cfg: &DistConfig) -> Tensor {
     match &cfg.update_weight {
         Some(w) => {
+            let timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::Update);
+            let work = agg.rows() as u64 * agg.cols() as u64 * w.cols() as u64;
             let mut out = agg.matmul(w);
             out.relu_inplace();
+            timer.stop(work);
             out
         }
         None => agg,
@@ -391,9 +451,13 @@ fn minibatch_worker_epoch(
                 continue;
             }
             let rows: Vec<(u32, &[f32])> = ids.iter().map(|&v| (v, [].as_slice())).collect();
-            comm.send(p, req_tag, encode_rows(0, &rows))?;
+            let payload = encode_rows(0, &rows);
+            flexgraph_obs::record_send(payload.len() as u64, false);
+            comm.send(p, req_tag, payload)?;
         }
         // Serve incoming requests.
+        let serve_timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::Serve);
+        let mut served_bytes = 0u64;
         let mut responses: HashMap<u32, Vec<f32>> = HashMap::new();
         for _ in 0..k - 1 {
             let msg = comm.recv_tag(req_tag)?;
@@ -403,8 +467,12 @@ fn minibatch_worker_epoch(
                 .map(|(v, _)| (v, shard.feats.row(shard.row_of(v) as usize).to_vec()))
                 .collect();
             let refs: Vec<(u32, &[f32])> = rows.iter().map(|(v, r)| (*v, r.as_slice())).collect();
-            comm.send(msg.from, resp_tag, encode_rows(d, &refs))?;
+            let payload = encode_rows(d, &refs);
+            served_bytes += payload.len() as u64;
+            flexgraph_obs::record_send(payload.len() as u64, false);
+            comm.send(msg.from, resp_tag, payload)?;
         }
+        serve_timer.stop(served_bytes);
         for _ in 0..k - 1 {
             let msg = comm.recv_tag(resp_tag)?;
             let (_, rows) = decode_rows(msg.payload);

@@ -40,6 +40,12 @@ impl JkNet {
         }
     }
 
+    /// The selection result as CSC arrays: `hops` segments per root over
+    /// the flattened hop shells (golden fixtures, diagnostics).
+    pub fn selection_arrays(&self) -> (&[usize], &[u32]) {
+        (&self.off, &self.src)
+    }
+
     fn layer(&self, g: &mut Graph, h: NodeId, w: NodeId, relu: bool) -> NodeId {
         // Shell level: mean per (root, hop-shell).
         let shells = g.segment_reduce(h, self.off.clone(), self.src.clone(), true);

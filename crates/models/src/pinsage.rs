@@ -43,6 +43,12 @@ impl PinSage {
         }
     }
 
+    /// The selection result as CSC arrays: per-root segment offsets into
+    /// the flat selected-neighbor list (golden fixtures, diagnostics).
+    pub fn selection_arrays(&self) -> (&[usize], &[u32]) {
+        (&self.off, &self.src)
+    }
+
     fn layer(&self, g: &mut Graph, h: NodeId, w: NodeId, relu: bool) -> NodeId {
         let a = g.segment_reduce(h, self.off.clone(), self.src.clone(), false);
         // Update: ReLU(W * CONCAT(h, a)).

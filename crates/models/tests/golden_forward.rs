@@ -1,0 +1,204 @@
+//! Golden-value forward fixtures (ISSUE 4 satellite): one model per NAU
+//! category — GCN (DNFA), PinSage (INFA), JK-Net (INHA) — on a fixed
+//! 6-vertex graph with hand-chosen integer features and weights.
+//!
+//! Every value is an exact multiple of a small power of two and far below
+//! 2^24, so each partial sum in every kernel (segment reductions, dense
+//! matmuls, shell means) is exactly representable in `f32`. The expected
+//! outputs are therefore *hand-computable* and independent of
+//! accumulation order, tiling, and `FLEXGRAPH_THREADS` — the assertions
+//! compare exact bits, not approximations.
+
+use flexgraph_graph::csr::GraphBuilder;
+use flexgraph_graph::gen::Dataset;
+use flexgraph_models::train::Model;
+use flexgraph_models::{Gcn, JkNet, PinSage};
+use flexgraph_tensor::{Graph, ParamSet, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The fixed 6×2 feature matrix shared by all three fixtures.
+fn features() -> Tensor {
+    Tensor::from_vec(
+        6,
+        2,
+        vec![
+            1.0, 2.0, // v0
+            3.0, 1.0, // v1
+            0.0, 2.0, // v2
+            2.0, 0.0, // v3
+            1.0, 1.0, // v4
+            4.0, 3.0, // v5
+        ],
+    )
+}
+
+fn dataset(edges: &[(u32, u32)], name: &str) -> Dataset {
+    let mut b = GraphBuilder::new(6);
+    for &(a, c) in edges {
+        b.add_undirected(a, c);
+    }
+    Dataset {
+        name: name.to_string(),
+        graph: b.build(),
+        types: None,
+        features: features(),
+        labels: vec![0; 6],
+        num_classes: 2,
+    }
+}
+
+/// Path-plus-triangle graph: 0-1, 0-2, 1-2, 2-3, 3-4, 4-5.
+fn graph_a() -> Dataset {
+    dataset(
+        &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
+        "golden-a",
+    )
+}
+
+/// 6-cycle: every vertex has exactly two 1-hop and two 2-hop neighbors,
+/// so JK-Net's shell means divide by powers of two only.
+fn graph_cycle() -> Dataset {
+    dataset(
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        "golden-c",
+    )
+}
+
+/// Runs `model.forward` on the dataset with the given weight overrides.
+fn run_forward<M: Model>(mut model: M, ds: &Dataset, weights: &[Tensor]) -> Tensor {
+    let mut params = ParamSet::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    model.init_params(&mut params, &mut rng);
+    assert_eq!(params.len(), weights.len(), "one override per slot");
+    for (i, w) in weights.iter().enumerate() {
+        assert_eq!(params.value(i).shape(), w.shape(), "slot {i} shape");
+        *params.value_mut(i) = w.clone();
+    }
+    model.selection(ds, 0);
+    let mut g = Graph::new();
+    let feats = g.leaf(ds.features.clone());
+    let out = model.forward(&mut g, feats, &params);
+    g.value(out).clone()
+}
+
+/// Exact-bits comparison with a readable diff on mismatch.
+fn assert_bits(actual: &Tensor, expected: &[[f32; 2]; 6]) {
+    assert_eq!(actual.shape(), (6, 2));
+    for (r, row) in expected.iter().enumerate() {
+        for (c, &e) in row.iter().enumerate() {
+            let a = actual.get(r, c);
+            assert_eq!(
+                a.to_bits(),
+                e.to_bits(),
+                "({r},{c}): got {a} ({:#010x}), want {e} ({:#010x})",
+                a.to_bits(),
+                e.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn gcn_forward_matches_hand_computed_fixture() {
+    let ds = graph_a();
+    let w1 = Tensor::from_vec(2, 2, vec![1.0, -1.0, 2.0, 1.0]);
+    let w2 = Tensor::from_vec(2, 2, vec![1.0, 1.0, -1.0, 2.0]);
+    let out = run_forward(Gcn::new(2, 2, 2), &ds, &[w1, w2]);
+    // Layer 1: a[v] = Σ h[u] over neighbors; ReLU((h+a)·W1) gives
+    //   [[14,1],[14,1],[16,0],[9,0],[15,0],[13,0]].
+    // Layer 2 on that, no ReLU:
+    assert_bits(
+        &out,
+        &[
+            [42.0, 48.0],
+            [42.0, 48.0],
+            [51.0, 57.0],
+            [40.0, 40.0],
+            [37.0, 37.0],
+            [28.0, 28.0],
+        ],
+    );
+}
+
+#[test]
+fn jknet_forward_matches_hand_computed_fixture() {
+    let ds = graph_cycle();
+    let w1 = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0, 1.0, 1.0]);
+    let w2 = Tensor::from_vec(4, 2, vec![1.0, 1.0, -1.0, 0.0, 0.0, 2.0, 2.0, -2.0]);
+    let mut m = JkNet::new(2, 2, 2, 2);
+    // Shell layout: every (root, shell) segment on the 6-cycle has
+    // exactly two members ({v±1}, then {v±2}), so all means are exact
+    // halves and the fixture stays order-independent.
+    m.selection(&ds, 0);
+    let (off, src) = m.selection_arrays();
+    assert_eq!(off.len(), 6 * 2 + 1);
+    for v in 0..6u32 {
+        let seg = |s: usize| {
+            let mut x = src[off[v as usize * 2 + s]..off[v as usize * 2 + s + 1]].to_vec();
+            x.sort_unstable();
+            x
+        };
+        let mut hop1 = vec![(v + 5) % 6, (v + 1) % 6];
+        let mut hop2 = vec![(v + 4) % 6, (v + 2) % 6];
+        hop1.sort_unstable();
+        hop2.sort_unstable();
+        assert_eq!(seg(0), hop1, "v{v} 1-hop shell");
+        assert_eq!(seg(1), hop2, "v{v} 2-hop shell");
+    }
+    let out = run_forward(m, &ds, &[w1, w2]);
+    // Layer 1: shell means, block-mean over the 2 shells, then
+    //   ReLU([h|a]·W1) = [[6.75,1.75],[8.25,1],[4.5,1.25],
+    //                     [7.75,0],[6.25,1],[8.5,2.25]].
+    // Layer 2 on that, no ReLU:
+    assert_bits(
+        &out,
+        &[
+            [7.75, 17.75],
+            [9.875, 19.375],
+            [5.125, 17.125],
+            [10.5, 18.75],
+            [7.875, 17.375],
+            [8.125, 21.125],
+        ],
+    );
+}
+
+#[test]
+fn pinsage_forward_matches_fixture() {
+    let ds = graph_a();
+    let mut m = PinSage::new(2, 2, 2, 9);
+    // The walk-based selection is stochastic but a pure function of
+    // (graph, walk config, seed ^ epoch): pin it with a snapshot so a
+    // selection change can't masquerade as a numeric regression.
+    m.selection(&ds, 0);
+    let (off, src) = m.selection_arrays();
+    assert_eq!(off, &[0, 4, 8, 13, 18, 22, 25]);
+    assert_eq!(
+        src,
+        &[
+            1, 2, 3, 4, // v0
+            0, 2, 3, 4, // v1
+            0, 3, 1, 4, 5, // v2
+            4, 2, 0, 5, 1, // v3
+            5, 3, 0, 2, // v4
+            4, 3, 2, // v5
+        ]
+    );
+    let w1 = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0, 1.0, 1.0]);
+    let w2 = Tensor::from_vec(4, 2, vec![1.0, 1.0, -1.0, 0.0, 0.0, 2.0, 2.0, -2.0]);
+    let out = run_forward(m, &ds, &[w1, w2]);
+    // Hand-computed from the snapshot above (all-integer arithmetic):
+    // layer 1 gives [[17,0],[16,2],[29,0],[29,0],[22,1],[13,3]].
+    assert_bits(
+        &out,
+        &[
+            [23.0, 203.0],
+            [16.0, 208.0],
+            [41.0, 211.0],
+            [41.0, 211.0],
+            [27.0, 192.0],
+            [12.0, 171.0],
+        ],
+    );
+}

@@ -1,0 +1,368 @@
+//! Per-epoch telemetry records.
+//!
+//! The unit of telemetry is one **partition record**: everything one
+//! worker observed during one distributed epoch — per-stage counters
+//! (invocations, deterministic work units, measured wall time), comm
+//! counters, and the per-root cost attribution the ADB balancer feeds
+//! on. Partition records merge into a [`TraceEpoch`], the "running log"
+//! of the paper's §6 that [`record_measured_epoch`] consumes.
+//!
+//! Every counter is a `u64` and every merge is a field-wise integer sum
+//! (or a keyed sum for root costs), so merging is **commutative and
+//! associative**: the same set of records produces bit-identical merged
+//! state regardless of arrival order — the property
+//! `crates/obs/tests/proptests.rs` exercises. Wall times are carried as
+//! nanosecond counters but are *excluded* from the deterministic trace
+//! serialization (see [`crate::trace`]); only work units and counts may
+//! reach a byte-stable trace.
+//!
+//! [`record_measured_epoch`]: https://docs.rs/flexgraph-dist
+
+use std::collections::BTreeMap;
+
+/// The instrumented execution stages. `Selection`, `Upper` (Aggregation)
+/// and `Update` are the NAU stages of §3.2; the three `Leaf*` stages
+/// split the distributed leaf level into its pipeline phases (§5), and
+/// `Serve` is the request-serving work of the mini-batch baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// NeighborSelection (HDG construction).
+    Selection,
+    /// Encoding + sending leaf partials / raw rows to peers.
+    LeafSend,
+    /// Local leaf aggregation (overlaps the wire in pipelined mode).
+    LeafLocal,
+    /// Folding arrived peer messages into the slot buffer.
+    LeafFold,
+    /// Upper-level (instance/group/schema) aggregation.
+    Upper,
+    /// The Update stage (dense NN ops / optimizer step).
+    Update,
+    /// Serving peers' feature-fetch requests (mini-batch baselines).
+    Serve,
+}
+
+impl Stage {
+    /// Number of stages (array dimension of [`PartitionRecord::stages`]).
+    pub const COUNT: usize = 7;
+
+    /// All stages, in serialization order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Selection,
+        Stage::LeafSend,
+        Stage::LeafLocal,
+        Stage::LeafFold,
+        Stage::Upper,
+        Stage::Update,
+        Stage::Serve,
+    ];
+
+    /// Stable lowercase name used in the trace schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Selection => "selection",
+            Stage::LeafSend => "leaf_send",
+            Stage::LeafLocal => "leaf_local",
+            Stage::LeafFold => "leaf_fold",
+            Stage::Upper => "upper",
+            Stage::Update => "update",
+            Stage::Serve => "serve",
+        }
+    }
+
+    /// Inverse of [`Stage::name`].
+    pub fn from_name(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+
+    /// Index into [`PartitionRecord::stages`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One stage's accumulated measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageSample {
+    /// Times the stage ran.
+    pub invocations: u64,
+    /// Deterministic work units (scatter-plan segment entries × feature
+    /// dim, matmul FLOP proxies, …). Identical for identical inputs
+    /// under any `FLEXGRAPH_THREADS`.
+    pub work: u64,
+    /// Measured wall time, nanoseconds. **Not** deterministic; excluded
+    /// from byte-stable traces.
+    pub wall_ns: u64,
+}
+
+impl StageSample {
+    /// Field-wise sum (commutative, associative).
+    pub fn merge(&mut self, other: &StageSample) {
+        self.invocations += other.invocations;
+        self.work += other.work;
+        self.wall_ns += other.wall_ns;
+    }
+}
+
+/// Worker-local communication counters (what *this* partition sent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommCounters {
+    /// Application messages sent.
+    pub messages: u64,
+    /// Application payload bytes sent.
+    pub bytes: u64,
+    /// Messages that carried sender-side partial aggregates.
+    pub partial_msgs: u64,
+    /// Messages that carried raw (vertex-keyed) feature rows.
+    pub raw_msgs: u64,
+}
+
+impl CommCounters {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &CommCounters) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.partial_msgs += other.partial_msgs;
+        self.raw_msgs += other.raw_msgs;
+    }
+}
+
+/// Fabric-wide counters for one epoch, snapshotted from
+/// `flexgraph_comm::CommStats`. Application traffic (`bytes`,
+/// `messages`) is deterministic; the fault-path counters depend on
+/// timers and chaos schedules and are therefore kept out of the
+/// byte-stable trace fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricCounters {
+    /// Total payload bytes over the fabric.
+    pub bytes: u64,
+    /// Total application messages.
+    pub messages: u64,
+    /// Retransmissions (timer-dependent: non-deterministic).
+    pub retries: u64,
+    /// Chaos-injected drops.
+    pub drops_injected: u64,
+    /// Receive-side duplicate discards.
+    pub redeliveries: u64,
+}
+
+impl FabricCounters {
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &FabricCounters) {
+        self.bytes += other.bytes;
+        self.messages += other.messages;
+        self.retries += other.retries;
+        self.drops_injected += other.drops_injected;
+        self.redeliveries += other.redeliveries;
+    }
+}
+
+/// Everything one worker observed during one epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionRecord {
+    /// Session-relative epoch number.
+    pub epoch: u64,
+    /// Worker rank.
+    pub partition: u32,
+    /// Whether the leaf level ran in pipelined mode.
+    pub pipelined: bool,
+    /// Per-stage samples, indexed by [`Stage::index`].
+    pub stages: [StageSample; Stage::COUNT],
+    /// What this worker sent over the fabric.
+    pub comm: CommCounters,
+    /// Per-root cost attribution: global vertex id → deterministic cost
+    /// units, derived from the executed aggregation plan's segment
+    /// sizes (see `dist::trainer`).
+    pub roots: BTreeMap<u32, u64>,
+}
+
+impl PartitionRecord {
+    /// An empty record for `(epoch, partition)`.
+    pub fn new(epoch: u64, partition: u32) -> Self {
+        Self {
+            epoch,
+            partition,
+            pipelined: false,
+            stages: [StageSample::default(); Stage::COUNT],
+            comm: CommCounters::default(),
+            roots: BTreeMap::new(),
+        }
+    }
+
+    /// Mutable sample of one stage.
+    pub fn stage_mut(&mut self, s: Stage) -> &mut StageSample {
+        &mut self.stages[s.index()]
+    }
+
+    /// One stage's sample.
+    pub fn stage(&self, s: Stage) -> &StageSample {
+        &self.stages[s.index()]
+    }
+
+    /// Adds `units` to the cost attributed to global root `v`.
+    pub fn add_root_cost(&mut self, v: u32, units: u64) {
+        *self.roots.entry(v).or_insert(0) += units;
+    }
+
+    /// Total work units across stages.
+    pub fn work_total(&self) -> u64 {
+        self.stages.iter().map(|s| s.work).sum()
+    }
+
+    /// Total measured wall nanoseconds across stages.
+    pub fn wall_total_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// `(count, total, max)` digest of the per-root costs.
+    pub fn root_digest(&self) -> (u64, u64, u64) {
+        let count = self.roots.len() as u64;
+        let total: u64 = self.roots.values().sum();
+        let max = self.roots.values().copied().max().unwrap_or(0);
+        (count, total, max)
+    }
+
+    /// Merges another record for the *same* `(epoch, partition)` key.
+    /// Counter sums are commutative and associative; root costs merge
+    /// by keyed sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the keys differ — merging records of different
+    /// partitions is a bug, use [`TraceEpoch::absorb`] instead.
+    pub fn merge(&mut self, other: &PartitionRecord) {
+        assert_eq!(
+            (self.epoch, self.partition),
+            (other.epoch, other.partition),
+            "merge requires matching (epoch, partition)"
+        );
+        self.pipelined |= other.pipelined;
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge(b);
+        }
+        self.comm.merge(&other.comm);
+        for (&v, &c) in &other.roots {
+            *self.roots.entry(v).or_insert(0) += c;
+        }
+    }
+}
+
+/// The merged running log of one distributed epoch — the paper's §6
+/// "samples of running logs" in structured form. Produced by
+/// `dist::distributed_epoch`, consumed by
+/// `AdbController::record_measured_epoch` and the trace writer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceEpoch {
+    /// Session-relative epoch number.
+    pub epoch: u64,
+    /// Per-partition records, keyed by rank.
+    pub partitions: BTreeMap<u32, PartitionRecord>,
+    /// Fabric-wide counters for the epoch.
+    pub fabric: FabricCounters,
+}
+
+impl TraceEpoch {
+    /// An empty epoch record.
+    pub fn new(epoch: u64) -> Self {
+        Self {
+            epoch,
+            partitions: BTreeMap::new(),
+            fabric: FabricCounters::default(),
+        }
+    }
+
+    /// Folds one partition record in (keyed merge).
+    pub fn absorb(&mut self, rec: PartitionRecord) {
+        match self.partitions.get_mut(&rec.partition) {
+            Some(existing) => existing.merge(&rec),
+            None => {
+                self.partitions.insert(rec.partition, rec);
+            }
+        }
+    }
+
+    /// Merges another epoch record for the same epoch (keyed partition
+    /// merge + fabric sum). Commutative and associative.
+    pub fn merge(&mut self, other: &TraceEpoch) {
+        for rec in other.partitions.values() {
+            self.absorb(rec.clone());
+        }
+        self.fabric.merge(&other.fabric);
+    }
+
+    /// Measured cost units attributed to global root `v`, if any
+    /// partition reported it.
+    pub fn root_cost(&self, v: u32) -> Option<u64> {
+        let mut total: Option<u64> = None;
+        for p in self.partitions.values() {
+            if let Some(&c) = p.roots.get(&v) {
+                *total.get_or_insert(0) += c;
+            }
+        }
+        total
+    }
+
+    /// Number of roots with attributed costs across all partitions.
+    pub fn num_attributed_roots(&self) -> usize {
+        self.partitions.values().map(|p| p.roots.len()).sum()
+    }
+
+    /// Total work units across partitions.
+    pub fn work_total(&self) -> u64 {
+        self.partitions.values().map(|p| p.work_total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64, part: u32, work: u64) -> PartitionRecord {
+        let mut r = PartitionRecord::new(epoch, part);
+        r.stage_mut(Stage::Upper).invocations = 1;
+        r.stage_mut(Stage::Upper).work = work;
+        r.comm.messages = 2;
+        r.comm.bytes = 64;
+        r.add_root_cost(7, work);
+        r
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("nope"), None);
+    }
+
+    #[test]
+    fn partition_merge_sums_fields() {
+        let mut a = sample(0, 1, 10);
+        a.merge(&sample(0, 1, 5));
+        assert_eq!(a.stage(Stage::Upper).work, 15);
+        assert_eq!(a.stage(Stage::Upper).invocations, 2);
+        assert_eq!(a.comm.bytes, 128);
+        assert_eq!(a.roots[&7], 15);
+        assert_eq!(a.root_digest(), (1, 15, 15));
+    }
+
+    #[test]
+    #[should_panic(expected = "matching (epoch, partition)")]
+    fn partition_merge_rejects_key_mismatch() {
+        sample(0, 1, 1).merge(&sample(0, 2, 1));
+    }
+
+    #[test]
+    fn epoch_absorb_is_keyed() {
+        let mut e = TraceEpoch::new(0);
+        e.absorb(sample(0, 0, 4));
+        e.absorb(sample(0, 1, 6));
+        e.absorb(sample(0, 0, 2));
+        assert_eq!(e.partitions.len(), 2);
+        assert_eq!(e.partitions[&0].stage(Stage::Upper).work, 6);
+        assert_eq!(e.work_total(), 12);
+        // Root 7 got cost from all three records.
+        assert_eq!(e.root_cost(7), Some(12));
+        assert_eq!(e.root_cost(8), None);
+    }
+}

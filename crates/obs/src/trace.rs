@@ -1,0 +1,510 @@
+//! Deterministic JSONL trace serialization.
+//!
+//! One trace session is a sequence of JSON objects, one per line:
+//!
+//! ```text
+//! {"k":"meta","v":1,"wall":0}
+//! {"k":"part","vt":1,"epoch":0,"part":0,"pipelined":1,
+//!  "stages":{"upper":[1,1234],...},"comm":[3,4096,2,1],
+//!  "roots":[128,51200,900]}
+//! {"k":"epoch","vt":3,"epoch":0,"parts":2,"work":98304,"fabric":[8192,6]}
+//! ```
+//!
+//! Determinism rules (DESIGN.md §8):
+//! * Timestamps are **virtual**: `vt` is a per-session record counter,
+//!   not a clock. Same-seed runs therefore emit byte-identical traces
+//!   under any `FLEXGRAPH_THREADS`.
+//! * Stage entries serialize `[invocations, work]` — wall times and
+//!   fault counters (retries, drops) are excluded because they depend
+//!   on the scheduler and retransmit timers. Setting
+//!   `FLEXGRAPH_TRACE_WALL=1` appends them as extra debug fields and
+//!   forfeits byte-stability (the `meta` line records `"wall":1` so
+//!   consumers can tell).
+//! * Stages with zero invocations are omitted; maps use the fixed
+//!   [`Stage::ALL`] order; root costs serialize as the
+//!   `(count,total,max)` digest, never the full map.
+//!
+//! There is no serde in the dependency tree, so both the emitter and
+//! the schema-validating parser below are hand-rolled for this one
+//! fixed schema.
+
+use crate::record::{FabricCounters, PartitionRecord, Stage, TraceEpoch};
+use std::fmt::Write as _;
+
+/// Trace format version emitted in the `meta` line.
+pub const TRACE_VERSION: u64 = 1;
+
+/// Renders the session-opening `meta` line.
+pub fn render_meta(wall: bool) -> String {
+    format!(
+        "{{\"k\":\"meta\",\"v\":{},\"wall\":{}}}",
+        TRACE_VERSION,
+        u64::from(wall)
+    )
+}
+
+/// Renders one partition record as a `part` line. `vt` is the caller's
+/// virtual timestamp for this record.
+pub fn render_part(vt: u64, rec: &PartitionRecord, wall: bool) -> String {
+    let mut s = String::with_capacity(192);
+    let _ = write!(
+        s,
+        "{{\"k\":\"part\",\"vt\":{},\"epoch\":{},\"part\":{},\"pipelined\":{},\"stages\":{{",
+        vt,
+        rec.epoch,
+        rec.partition,
+        u64::from(rec.pipelined)
+    );
+    let mut first = true;
+    for st in Stage::ALL {
+        let sample = rec.stage(st);
+        if sample.invocations == 0 {
+            continue;
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "\"{}\":[{},{}",
+            st.name(),
+            sample.invocations,
+            sample.work
+        );
+        if wall {
+            let _ = write!(s, ",{}", sample.wall_ns);
+        }
+        s.push(']');
+    }
+    let (rc, rt, rm) = rec.root_digest();
+    let _ = write!(
+        s,
+        "}},\"comm\":[{},{},{},{}],\"roots\":[{},{},{}]}}",
+        rec.comm.messages, rec.comm.bytes, rec.comm.partial_msgs, rec.comm.raw_msgs, rc, rt, rm
+    );
+    s
+}
+
+/// Renders the epoch-closing `epoch` line.
+pub fn render_epoch(vt: u64, ep: &TraceEpoch, wall: bool) -> String {
+    let mut s = format!(
+        "{{\"k\":\"epoch\",\"vt\":{},\"epoch\":{},\"parts\":{},\"work\":{},\"fabric\":[{},{}]",
+        vt,
+        ep.epoch,
+        ep.partitions.len(),
+        ep.work_total(),
+        ep.fabric.bytes,
+        ep.fabric.messages
+    );
+    if wall {
+        let _ = write!(
+            s,
+            ",\"faults\":[{},{},{}]",
+            ep.fabric.retries, ep.fabric.drops_injected, ep.fabric.redeliveries
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// A parsed trace line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceLine {
+    /// Session header: format version + whether wall/fault debug fields
+    /// are present.
+    Meta { version: u64, wall: bool },
+    /// One partition's epoch record. The full per-root cost map is not
+    /// serialized (only its digest), so `record.roots` is empty after a
+    /// parse and `roots` carries the `(count, total, max)` digest.
+    Part {
+        vt: u64,
+        record: PartitionRecord,
+        roots: (u64, u64, u64),
+    },
+    /// Epoch summary.
+    Epoch {
+        vt: u64,
+        epoch: u64,
+        parts: u64,
+        work: u64,
+        fabric: FabricCounters,
+    },
+}
+
+/// Parses one trace line, validating it against the documented schema.
+/// Returns a description of the first violation on malformed input.
+pub fn parse_line(line: &str) -> Result<TraceLine, String> {
+    let mut p = Parser::new(line);
+    p.expect('{')?;
+    let key = p.key()?;
+    if key != "k" {
+        return Err(format!("first key must be \"k\", got {key:?}"));
+    }
+    let kind = p.string()?;
+    match kind.as_str() {
+        "meta" => {
+            p.expect(',')?;
+            p.named_key("v")?;
+            let version = p.number()?;
+            p.expect(',')?;
+            p.named_key("wall")?;
+            let wall = p.bool01()?;
+            p.expect('}')?;
+            p.end()?;
+            Ok(TraceLine::Meta { version, wall })
+        }
+        "part" => parse_part(&mut p),
+        "epoch" => parse_epoch(&mut p),
+        other => Err(format!("unknown record kind {other:?}")),
+    }
+}
+
+fn parse_part(p: &mut Parser) -> Result<TraceLine, String> {
+    p.expect(',')?;
+    p.named_key("vt")?;
+    let vt = p.number()?;
+    p.expect(',')?;
+    p.named_key("epoch")?;
+    let epoch = p.number()?;
+    p.expect(',')?;
+    p.named_key("part")?;
+    let part = p.number()?;
+    p.expect(',')?;
+    p.named_key("pipelined")?;
+    let pipelined = p.bool01()?;
+    p.expect(',')?;
+    p.named_key("stages")?;
+    let mut rec = PartitionRecord::new(epoch, part as u32);
+    rec.pipelined = pipelined;
+    p.expect('{')?;
+    if !p.peek('}') {
+        loop {
+            let name = p.key()?;
+            let st = Stage::from_name(&name).ok_or_else(|| format!("unknown stage {name:?}"))?;
+            p.expect('[')?;
+            let inv = p.number()?;
+            p.expect(',')?;
+            let work = p.number()?;
+            let wall_ns = if p.peek(',') {
+                p.expect(',')?;
+                p.number()?
+            } else {
+                0
+            };
+            p.expect(']')?;
+            if inv == 0 {
+                return Err(format!("stage {name:?} serialized with zero invocations"));
+            }
+            let sample = rec.stage_mut(st);
+            if sample.invocations != 0 {
+                return Err(format!("stage {name:?} appears twice"));
+            }
+            *sample = crate::record::StageSample {
+                invocations: inv,
+                work,
+                wall_ns,
+            };
+            if p.peek('}') {
+                break;
+            }
+            p.expect(',')?;
+        }
+    }
+    p.expect('}')?;
+    p.expect(',')?;
+    p.named_key("comm")?;
+    let c = p.fixed_array(4)?;
+    rec.comm = crate::record::CommCounters {
+        messages: c[0],
+        bytes: c[1],
+        partial_msgs: c[2],
+        raw_msgs: c[3],
+    };
+    p.expect(',')?;
+    p.named_key("roots")?;
+    let r = p.fixed_array(3)?;
+    if r[1] < r[2] {
+        return Err("roots digest total < max".into());
+    }
+    p.expect('}')?;
+    p.end()?;
+    Ok(TraceLine::Part {
+        vt,
+        record: rec,
+        roots: (r[0], r[1], r[2]),
+    })
+}
+
+fn parse_epoch(p: &mut Parser) -> Result<TraceLine, String> {
+    p.expect(',')?;
+    p.named_key("vt")?;
+    let vt = p.number()?;
+    p.expect(',')?;
+    p.named_key("epoch")?;
+    let epoch = p.number()?;
+    p.expect(',')?;
+    p.named_key("parts")?;
+    let parts = p.number()?;
+    p.expect(',')?;
+    p.named_key("work")?;
+    let work = p.number()?;
+    p.expect(',')?;
+    p.named_key("fabric")?;
+    let f = p.fixed_array(2)?;
+    let mut fabric = FabricCounters {
+        bytes: f[0],
+        messages: f[1],
+        ..Default::default()
+    };
+    if p.peek(',') {
+        p.expect(',')?;
+        p.named_key("faults")?;
+        let d = p.fixed_array(3)?;
+        fabric.retries = d[0];
+        fabric.drops_injected = d[1];
+        fabric.redeliveries = d[2];
+    }
+    p.expect('}')?;
+    p.end()?;
+    Ok(TraceLine::Epoch {
+        vt,
+        epoch,
+        parts,
+        work,
+        fabric,
+    })
+}
+
+/// Minimal cursor over one line of the fixed trace schema.
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.s.get(self.i) == Some(&(c as u8)) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.i))
+        }
+    }
+
+    fn peek(&self, c: char) -> bool {
+        self.s.get(self.i) == Some(&(c as u8))
+    }
+
+    /// `"name":` — returns the name.
+    fn key(&mut self) -> Result<String, String> {
+        let k = self.string()?;
+        self.expect(':')?;
+        Ok(k)
+    }
+
+    /// `"name":` with a required name.
+    fn named_key(&mut self, want: &str) -> Result<(), String> {
+        let k = self.key()?;
+        if k == want {
+            Ok(())
+        } else {
+            Err(format!("expected key {want:?}, got {k:?}"))
+        }
+    }
+
+    /// A double-quoted string (schema strings never contain escapes).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let start = self.i;
+        while let Some(&b) = self.s.get(self.i) {
+            if b == b'"' {
+                let out = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| "invalid utf8".to_string())?
+                    .to_string();
+                self.i += 1;
+                return Ok(out);
+            }
+            if b == b'\\' {
+                return Err("escapes are not part of the trace schema".into());
+            }
+            self.i += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    /// An unsigned decimal integer.
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.s.get(self.i).is_some_and(|b| b.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .unwrap()
+            .parse::<u64>()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    /// `0` or `1`.
+    fn bool01(&mut self) -> Result<bool, String> {
+        match self.number()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(format!("expected 0/1 flag, got {n}")),
+        }
+    }
+
+    /// `[n,n,...]` with exactly `len` entries.
+    fn fixed_array(&mut self, len: usize) -> Result<Vec<u64>, String> {
+        self.expect('[')?;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            if i > 0 {
+                self.expect(',')?;
+            }
+            out.push(self.number()?);
+        }
+        self.expect(']')?;
+        Ok(out)
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        if self.i == self.s.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes at {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::StageSample;
+
+    fn rec() -> PartitionRecord {
+        let mut r = PartitionRecord::new(3, 1);
+        r.pipelined = true;
+        *r.stage_mut(Stage::Upper) = StageSample {
+            invocations: 2,
+            work: 512,
+            wall_ns: 999,
+        };
+        *r.stage_mut(Stage::LeafSend) = StageSample {
+            invocations: 1,
+            work: 64,
+            wall_ns: 5,
+        };
+        r.comm.messages = 3;
+        r.comm.bytes = 4096;
+        r.comm.partial_msgs = 2;
+        r.comm.raw_msgs = 1;
+        r.add_root_cost(4, 100);
+        r.add_root_cost(9, 28);
+        r
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let line = render_meta(false);
+        assert_eq!(
+            parse_line(&line),
+            Ok(TraceLine::Meta {
+                version: TRACE_VERSION,
+                wall: false
+            })
+        );
+    }
+
+    #[test]
+    fn part_round_trip_deterministic_fields() {
+        let line = render_part(7, &rec(), false);
+        // Wall times must not leak into the deterministic form.
+        assert!(!line.contains("999"));
+        match parse_line(&line).unwrap() {
+            TraceLine::Part { vt, record, roots } => {
+                assert_eq!(vt, 7);
+                assert_eq!(record.epoch, 3);
+                assert_eq!(record.partition, 1);
+                assert!(record.pipelined);
+                assert_eq!(record.stage(Stage::Upper).work, 512);
+                assert_eq!(record.stage(Stage::Upper).wall_ns, 0);
+                assert_eq!(record.stage(Stage::Selection).invocations, 0);
+                assert_eq!(record.comm.bytes, 4096);
+                assert_eq!(roots, (2, 128, 100));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn part_wall_mode_round_trips_wall_ns() {
+        let line = render_part(1, &rec(), true);
+        match parse_line(&line).unwrap() {
+            TraceLine::Part { record, .. } => {
+                assert_eq!(record.stage(Stage::Upper).wall_ns, 999)
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn epoch_round_trip() {
+        let mut ep = TraceEpoch::new(3);
+        ep.absorb(rec());
+        ep.fabric.bytes = 8192;
+        ep.fabric.messages = 6;
+        ep.fabric.retries = 2;
+        let line = render_epoch(9, &ep, false);
+        assert!(!line.contains("faults"));
+        match parse_line(&line).unwrap() {
+            TraceLine::Epoch {
+                vt,
+                epoch,
+                parts,
+                work,
+                fabric,
+            } => {
+                assert_eq!((vt, epoch, parts), (9, 3, 1));
+                assert_eq!(work, 576);
+                assert_eq!(fabric.bytes, 8192);
+                assert_eq!(fabric.retries, 0);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let wall_line = render_epoch(9, &ep, true);
+        match parse_line(&wall_line).unwrap() {
+            TraceLine::Epoch { fabric, .. } => assert_eq!(fabric.retries, 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"k\":\"nope\"}",
+            "{\"k\":\"meta\",\"v\":1}",
+            "{\"k\":\"meta\",\"v\":1,\"wall\":2}",
+            "{\"k\":\"part\",\"vt\":0}",
+            // Zero-invocation stages must be omitted by the writer.
+            "{\"k\":\"part\",\"vt\":0,\"epoch\":0,\"part\":0,\"pipelined\":0,\"stages\":{\"upper\":[0,0]},\"comm\":[0,0,0,0],\"roots\":[0,0,0]}",
+            // Digest total < max is impossible.
+            "{\"k\":\"part\",\"vt\":0,\"epoch\":0,\"part\":0,\"pipelined\":0,\"stages\":{},\"comm\":[0,0,0,0],\"roots\":[1,2,3]}",
+            "{\"k\":\"epoch\",\"vt\":0,\"epoch\":0,\"parts\":1,\"work\":0,\"fabric\":[0,0]}x",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted malformed line: {bad:?}");
+        }
+    }
+}
