@@ -1,0 +1,197 @@
+//! Serving-path benchmark: micro-batching vs batch_size=1, cache cold
+//! vs warm. Emits `BENCH_serve.json` in the current directory.
+//!
+//! The workload is a skewed request stream (a small hot set absorbs
+//! most requests, the tail is uniform) replayed identically through
+//! four server configurations:
+//!
+//! 1. `bs1_cold`    — max_batch 1, cache disabled (the no-batching
+//!    baseline),
+//! 2. `micro_cold`  — micro-batched, cache disabled (isolates the
+//!    batching win),
+//! 3. `micro_warm1` — micro-batched with the cache enabled, first pass
+//!    (cold cache, pays the fills),
+//! 4. `micro_warm2` — the same stream replayed on the warmed server
+//!    (isolates the cache win).
+//!
+//! Outputs are asserted **bitwise identical** across all four — the
+//! serving layer's parity invariant — so the speedups are pure
+//! scheduling/caching effects. With `FLEXGRAPH_TRACE` set, each
+//! configuration additionally emits one deterministic `serve` trace
+//! window (virtual-time counters only), which CI byte-compares across
+//! two runs.
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25); thread count with
+//! `FLEXGRAPH_THREADS`.
+
+use flexgraph::engine::MemoryBudget;
+use flexgraph::graph::gen::community;
+use flexgraph::obs;
+use flexgraph::serve::{
+    BatcherConfig, ModelSnapshot, Response, ServeModelConfig, Server, ServerConfig,
+};
+use flexgraph_bench::bench_scale;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const INIT_SEED: u64 = 13;
+
+fn workload(n: u32, requests: usize) -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let hot: Vec<u32> = (0..requests)
+        .map(|_| rng.gen_range(0..n.max(16) / 16))
+        .collect();
+    hot.into_iter()
+        .enumerate()
+        .map(|(i, h)| {
+            if i % 4 == 0 {
+                // Tail: uniform over the whole graph.
+                (h.wrapping_mul(2654435761).wrapping_add(i as u32)) % n
+            } else {
+                h // Hot set: the first |V|/16 vertices.
+            }
+        })
+        .collect()
+}
+
+/// Replays the stream, polling after every submission and flushing at
+/// the end; returns responses in request order plus the elapsed
+/// seconds.
+fn drive(server: &Server, stream: &[u32]) -> (Vec<Response>, f64) {
+    let t0 = Instant::now();
+    let mut out = Vec::with_capacity(stream.len());
+    for &v in stream {
+        server.submit(v).expect("bench stream fits the queue");
+        out.extend(server.poll().expect("unlimited budget"));
+    }
+    out.extend(server.flush().expect("unlimited budget"));
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn bitwise_eq(a: &[Response], b: &[Response]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.vertex == y.vertex
+                && x.output.len() == y.output.len()
+                && x.output
+                    .iter()
+                    .zip(&y.output)
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+fn main() {
+    obs::init_env_trace();
+    let scale = bench_scale().0;
+    let n = ((2_000.0 * scale) as usize).max(200);
+    let requests = (n * 4).max(800);
+    let ds = community(n, 4, 6, 2, 16, 29);
+    let model = ServeModelConfig {
+        in_dim: ds.feature_dim(),
+        classes: ds.num_classes,
+        ..Default::default()
+    };
+    let server_cfg = |max_batch: usize, cache_bytes: usize| ServerConfig {
+        batcher: BatcherConfig {
+            max_batch,
+            max_delay: 64,
+            queue_cap: requests + 1,
+        },
+        model,
+        cache_bytes,
+        budget: MemoryBudget::unlimited(),
+    };
+    let make = |cfg: ServerConfig| {
+        Server::new(
+            ds.graph.clone(),
+            ds.features.clone(),
+            cfg,
+            ModelSnapshot::init(&model, INIT_SEED),
+        )
+    };
+    let stream = workload(n as u32, requests);
+
+    // 1 + 2: batching effect, cache out of the picture.
+    let bs1 = make(server_cfg(1, 0));
+    let (out_bs1, s_bs1) = drive(&bs1, &stream);
+    bs1.emit_trace_window();
+    let micro = make(server_cfg(32, 0));
+    let (out_micro, s_micro) = drive(&micro, &stream);
+    micro.emit_trace_window();
+
+    // 3 + 4: cache effect, batching held fixed.
+    let cached = make(server_cfg(32, 64 << 20));
+    let (out_cold, s_cold) = drive(&cached, &stream);
+    cached.emit_trace_window();
+    let (out_warm, s_warm) = drive(&cached, &stream);
+    let warm_rec = cached.emit_trace_window();
+
+    assert!(
+        bitwise_eq(&out_bs1, &out_micro)
+            && bitwise_eq(&out_bs1, &out_cold)
+            && bitwise_eq(&out_bs1, &out_warm),
+        "serving outputs must be bitwise identical across batching and cache configs"
+    );
+    let batch_speedup = s_bs1 / s_micro;
+    let warm_speedup = s_cold / s_warm;
+    let hit_rate =
+        warm_rec.cache_hits as f64 / (warm_rec.cache_hits + warm_rec.cache_misses).max(1) as f64;
+
+    let rows = [
+        ("bs1_cold", s_bs1, 1),
+        ("micro_cold", s_micro, 32),
+        ("micro_warm1", s_cold, 32),
+        ("micro_warm2", s_warm, 32),
+    ];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"vertices\": {n},");
+    let _ = writeln!(json, "  \"requests\": {requests},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"bitwise_identical\": true,");
+    let _ = writeln!(json, "  \"microbatch_speedup\": {batch_speedup:.3},");
+    let _ = writeln!(json, "  \"warm_cache_speedup\": {warm_speedup:.3},");
+    let _ = writeln!(json, "  \"warm_hit_rate\": {hit_rate:.4},");
+    json.push_str("  \"configs\": [\n");
+    for (i, (name, secs, max_batch)) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{name}\", \"max_batch\": {max_batch}, \
+             \"seconds\": {secs:.4}, \"req_per_s\": {:.1}}}",
+            requests as f64 / secs
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>12}",
+        "config", "batch", "seconds", "req/s"
+    );
+    for (name, secs, max_batch) in &rows {
+        println!(
+            "{:<12} {:>9} {:>10.4} {:>12.1}",
+            name,
+            max_batch,
+            secs,
+            requests as f64 / secs
+        );
+    }
+    println!(
+        "\nmicro-batching speedup {batch_speedup:.2}x, warm-cache speedup \
+         {warm_speedup:.2}x (hit rate {:.1}%); outputs bitwise identical; \
+         wrote BENCH_serve.json",
+        hit_rate * 100.0
+    );
+    assert!(
+        batch_speedup > 1.0,
+        "micro-batching must beat batch_size=1 (got {batch_speedup:.3}x)"
+    );
+    assert!(
+        warm_speedup > 1.0,
+        "a warm cache must beat a cold one on a repeated stream (got {warm_speedup:.3}x)"
+    );
+    obs::finish_trace();
+}

@@ -25,6 +25,9 @@ fn main() {
     type PartEntry = (obs::PartitionRecord, (u64, u64, u64));
     let mut parts: BTreeMap<(u64, u32), PartEntry> = BTreeMap::new();
     let mut epochs: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new(); // parts, work, fabric bytes
+                                                                      // Serving windows in trace order, plus the merged totals.
+    let mut serve_windows: Vec<(u64, obs::ServeRecord, u64, u64)> = Vec::new();
+    let mut serve_total = obs::ServeRecord::default();
     for (i, line) in text.lines().enumerate() {
         match obs::parse_line(line) {
             Ok(TraceLine::Meta { version, wall }) => {
@@ -42,6 +45,15 @@ fn main() {
                 ..
             }) => {
                 epochs.insert(epoch, (p, work, fabric.bytes));
+            }
+            Ok(TraceLine::Serve {
+                vt,
+                record,
+                p50,
+                p99,
+            }) => {
+                serve_total.merge(&record);
+                serve_windows.push((vt, record, p50, p99));
             }
             Err(e) => panic!("line {}: schema violation: {e}", i + 1),
         }
@@ -107,10 +119,56 @@ fn main() {
             }
         }
     }
-    if epochs.is_empty() {
-        println!("(no epoch records)");
-    } else {
+    if !epochs.is_empty() {
         println!("\n(* = pipelined leaf level)");
+    }
+
+    if !serve_windows.is_empty() {
+        println!("\nserve: {} windows", serve_windows.len());
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>9} {:>11} {:>7} {:>9} {:>9}",
+            "vt", "enq", "served", "rej", "batches", "cache(h/m)", "queue", "lat_p50", "lat_p99"
+        );
+        for (vt, r, p50, p99) in &serve_windows {
+            println!(
+                "{:>6} {:>8} {:>8} {:>8} {:>9} {:>11} {:>7} {:>9} {:>9}",
+                vt,
+                r.enqueued,
+                r.served,
+                r.rejected,
+                format!("{}≤{}", r.batches, r.batch_max),
+                format!("{}/{}", r.cache_hits, r.cache_misses),
+                r.queue_depth_max,
+                p50,
+                p99
+            );
+        }
+        let t = &serve_total;
+        let hit_rate = if t.cache_hits + t.cache_misses > 0 {
+            t.cache_hits as f64 / (t.cache_hits + t.cache_misses) as f64 * 100.0
+        } else {
+            0.0
+        };
+        let mean_lat = if t.latency.count > 0 {
+            t.latency.total as f64 / t.latency.count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "total: {} served / {} enqueued ({} rejected), {} batches, \
+             cache hit rate {hit_rate:.1}%, mean latency {mean_lat:.1} vt, \
+             p50≤{} p99≤{} (merged)",
+            t.served,
+            t.enqueued,
+            t.rejected,
+            t.batches,
+            t.latency.quantile_bound(50),
+            t.latency.quantile_bound(99),
+        );
+    }
+
+    if epochs.is_empty() && serve_windows.is_empty() {
+        println!("(no epoch or serve records)");
     }
 }
 

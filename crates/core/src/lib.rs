@@ -21,6 +21,8 @@
 //! * [`dist`] — distributed training with ADB balancing and pipeline
 //!   processing,
 //! * [`models`] — GCN, PinSage, MAGNN, P-GNN, JK-Net in NAU,
+//! * [`serve`] — online inference: deterministic micro-batching,
+//!   versioned embedding cache, hot checkpoint swap, admission control,
 //! * [`obs`] — epoch telemetry: per-stage/per-root running logs and the
 //!   deterministic `FLEXGRAPH_TRACE` JSONL writer.
 //!
@@ -47,6 +49,7 @@ pub use flexgraph_graph as graph;
 pub use flexgraph_hdg as hdg;
 pub use flexgraph_models as models;
 pub use flexgraph_obs as obs;
+pub use flexgraph_serve as serve;
 pub use flexgraph_tensor as tensor;
 
 /// The most commonly used items in one import.
@@ -69,6 +72,9 @@ pub mod prelude {
     pub use flexgraph_models::{
         EpochStats, GGcn, Gcn, Gin, JkNet, Magnn, Model, Pgnn, PinSage, TrainConfig, Trainer,
     };
-    pub use flexgraph_obs::{PartitionRecord, Stage, TraceEpoch};
+    pub use flexgraph_obs::{PartitionRecord, ServeRecord, Stage, TraceEpoch};
+    pub use flexgraph_serve::{
+        ModelSnapshot, Response, ServeError, ServeModelConfig, Server, ServerConfig,
+    };
     pub use flexgraph_tensor::{Graph as AutogradGraph, Tensor};
 }

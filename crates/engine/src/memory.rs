@@ -9,6 +9,19 @@
 //! fused path allocates orders of magnitude less, which is exactly the
 //! effect the table demonstrates.
 
+use flexgraph_tensor::fusion::materialized_bytes;
+
+/// Transient bytes a batch-shaped execution materializes: one copied
+/// feature row per gathered vertex plus one message row per edge, all at
+/// feature width `dim`. This is the single admission-control arithmetic
+/// shared by the mini-batch baseline ([`crate::minibatch`]) and the
+/// serving subsystem's per-batch admission check — both must account
+/// identically or the serve layer's backpressure would disagree with
+/// the engine's OOM accounting.
+pub fn admission_bytes(vertices: usize, edges: usize, dim: usize) -> usize {
+    materialized_bytes(vertices, dim) + materialized_bytes(edges, dim)
+}
+
 /// Budget for transient (per-operation) tensor allocations.
 #[derive(Clone, Copy, Debug)]
 pub struct MemoryBudget {
@@ -93,6 +106,16 @@ mod tests {
             })
         );
         assert!(MemoryBudget::unlimited().check(usize::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn admission_bytes_matches_materialized_sum() {
+        use flexgraph_tensor::fusion::materialized_bytes;
+        assert_eq!(
+            admission_bytes(10, 40, 8),
+            materialized_bytes(10, 8) + materialized_bytes(40, 8)
+        );
+        assert_eq!(admission_bytes(0, 0, 16), 0);
     }
 
     #[test]

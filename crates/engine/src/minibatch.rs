@@ -10,10 +10,9 @@
 //! takes 0.7 s.
 
 use crate::hybrid::{AggrOp, AggrResult};
-use crate::memory::{EngineError, MemoryBudget};
+use crate::memory::{admission_bytes, EngineError, MemoryBudget};
 use flexgraph_graph::bfs::k_hop_closure;
 use flexgraph_graph::{Graph, VertexId};
-use flexgraph_tensor::fusion::materialized_bytes;
 use flexgraph_tensor::scatter::{gather_rows, scatter_add, scatter_mean};
 use flexgraph_tensor::Tensor;
 use std::collections::HashMap;
@@ -98,10 +97,11 @@ pub fn minibatch_epoch(
         }
 
         // Materialized cost: the copied feature block plus the per-edge
-        // messages of the sparse aggregation rounds.
-        let feat_copy = closure.len() * d * std::mem::size_of::<f32>();
-        let msg = materialized_bytes(sub_src.len(), d);
-        let transient = (feat_copy + msg) * cfg.concurrent_batches.max(1);
+        // messages of the sparse aggregation rounds — the same
+        // `admission_bytes` arithmetic the serve layer's admission
+        // control applies to its batches.
+        let transient =
+            admission_bytes(closure.len(), sub_src.len(), d) * cfg.concurrent_batches.max(1);
         peak = peak.max(transient);
         budget.check(transient)?;
 

@@ -5,6 +5,11 @@
 //! The format is a single versioned little-endian binary file holding
 //! the edge list, optional vertex types, features and labels. Loading
 //! rebuilds the CSR/CSC graph; a round trip is bit-exact.
+//!
+//! Version 2 appends a trailing CRC-32 (IEEE polynomial, mirroring
+//! checkpoint v2) covering every preceding byte, so bit rot and torn
+//! writes surface as [`IoError::Corrupt`] instead of a mis-parsed
+//! graph. Version-1 files (no checksum) still load.
 
 use crate::csr::GraphBuilder;
 use crate::gen::Dataset;
@@ -13,7 +18,23 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: u32 = 0x4647_4453; // "FGDS"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise). The shared integrity
+/// primitive of both the dataset format (v2) and checkpoint v2 —
+/// datasets and checkpoints are written once per run, so the simple
+/// bitwise form is fast enough.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Errors from dataset load/store.
 #[derive(Debug)]
@@ -89,6 +110,9 @@ pub fn to_bytes(ds: &Dataset) -> Vec<u8> {
     for &l in &ds.labels {
         put_u32(&mut out, l as u32);
     }
+    // Trailing CRC-32 over everything above (v2).
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -120,15 +144,30 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Deserializes a dataset from the binary format.
+/// Deserializes a dataset from the binary format. Accepts both the
+/// current checksummed v2 layout and legacy v1 files (identical body,
+/// no trailing CRC).
 pub fn from_bytes(buf: &[u8]) -> Result<Dataset, IoError> {
     let mut r = Reader { buf, off: 0 };
     if r.u32()? != MAGIC {
         return Err(IoError::BadMagic);
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(IoError::BadVersion(version));
+    }
+    if version == VERSION {
+        // Checksum before structure: a flipped bit in a length field
+        // must not steer the structural parser.
+        if buf.len() < 12 {
+            return Err(IoError::Corrupt("truncated"));
+        }
+        let body = &buf[..buf.len() - 4];
+        let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(IoError::Corrupt("CRC mismatch"));
+        }
+        r.buf = body;
     }
     let name_len = r.u32()? as usize;
     let name = String::from_utf8(r.take(name_len)?.to_vec())
@@ -251,6 +290,56 @@ mod tests {
         let mut badv = bytes.clone();
         badv[4] = 99;
         assert!(matches!(from_bytes(&badv), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn bit_flips_anywhere_in_body_are_detected() {
+        let ds = community(20, 2, 3, 1, 4, 76);
+        let bytes = to_bytes(&ds);
+        // Every byte past the header (magic + version) is covered by the
+        // trailing CRC; flip one bit per byte position and expect a
+        // structured rejection, never a silently wrong dataset.
+        for byte in 8..bytes.len() {
+            let mut evil = bytes.clone();
+            evil[byte] ^= 0x10;
+            assert!(
+                matches!(from_bytes(&evil), Err(IoError::Corrupt(_))),
+                "flip at byte {byte} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let ds = community(20, 2, 3, 1, 4, 77);
+        let bytes = to_bytes(&ds);
+        for cut in [bytes.len() - 1, bytes.len() - 5, 11, 8] {
+            assert!(
+                matches!(from_bytes(&bytes[..cut]), Err(IoError::Corrupt(_))),
+                "truncation to {cut} bytes accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_without_checksum_still_load() {
+        let ds = community(30, 2, 4, 1, 4, 78);
+        let mut v1 = to_bytes(&ds);
+        // A v1 file is the same body with version = 1 and no trailing
+        // CRC word.
+        v1.truncate(v1.len() - 4);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let back = from_bytes(&v1).unwrap();
+        assert_eq!(back.features, ds.features);
+        assert_eq!(back.labels, ds.labels);
+        assert_eq!(back.graph.num_edges(), ds.graph.num_edges());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -217,20 +217,73 @@ pub fn from_anchor_sets(roots: Vec<VertexId>, anchor_sets: &[Vec<VertexId>]) -> 
 /// JK-Net-style HDGs: the `i`-th neighbor of `v` is the set of vertices
 /// at exact hop distance `i` (§3.2).
 pub fn from_hop_shells(g: &Graph, roots: Vec<VertexId>, k: usize) -> Hdg {
+    from_hop_shells_capped(g, roots, k, 0, 0)
+}
+
+/// SplitMix64 finalizer — the pure hash behind sampled selection.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hop-shell HDGs with a per-shell sampling cap — the NeighborSelection
+/// of the online serving path, where unbounded power-law shells would
+/// blow the per-request memory budget. `cap = 0` means uncapped.
+///
+/// Sampling is a **pure function of `(seed, root, leaf)`**: each shell
+/// member is ranked by a SplitMix64 hash and the `cap` smallest ranks
+/// survive, re-sorted into ascending vertex order. The selection for a
+/// root is therefore identical whether it is built alone or as part of
+/// any batch, under any thread count — the property the serving layer's
+/// bitwise batch-parity guarantee rests on.
+pub fn from_hop_shells_capped(
+    g: &Graph,
+    roots: Vec<VertexId>,
+    k: usize,
+    cap: usize,
+    seed: u64,
+) -> Hdg {
     let names: Vec<String> = (1..=k).map(|i| format!("hop{i}")).collect();
     let mut b = HdgBuilder::new(SchemaTree::new(names), roots.clone());
     for &v in &roots {
-        for (t, shell) in hop_shells(g, v, k).into_iter().enumerate() {
-            if !shell.is_empty() {
-                b.push(NeighborRecord {
-                    root: v,
-                    nei_type: t as u16,
-                    leaves: shell,
-                });
-            }
+        for (t, rec) in hop_shell_records(g, v, k, cap, seed) {
+            b.push(NeighborRecord {
+                root: v,
+                nei_type: t,
+                leaves: rec,
+            });
         }
     }
     b.build()
+}
+
+/// The capped hop-shell selection for one root: `(type, leaves)` pairs
+/// in ascending shell order, empty shells omitted. Exposed so the serve
+/// layer can size a batch's admission check before building the HDG.
+pub fn hop_shell_records(
+    g: &Graph,
+    root: VertexId,
+    k: usize,
+    cap: usize,
+    seed: u64,
+) -> Vec<(u16, Vec<VertexId>)> {
+    let mut out = Vec::new();
+    for (t, mut shell) in hop_shells(g, root, k).into_iter().enumerate() {
+        if shell.is_empty() {
+            continue;
+        }
+        if cap > 0 && shell.len() > cap {
+            shell.sort_unstable_by_key(|&u| {
+                (mix64(seed ^ mix64((root as u64) << 32 | u as u64)), u)
+            });
+            shell.truncate(cap);
+            shell.sort_unstable();
+        }
+        out.push((t as u16, shell));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -324,6 +377,39 @@ mod tests {
         assert_eq!(h.instance_leaves(s1).len(), 4);
         let s2 = h.group_instances(0, 1).start;
         assert_eq!(h.instance_leaves(s2).len(), 4);
+    }
+
+    #[test]
+    fn capped_hop_shells_are_batch_independent() {
+        let g = sample_graph();
+        // Cap below the shell sizes so sampling actually triggers.
+        let all = from_hop_shells_capped(&g, (0..9).collect(), 2, 2, 42);
+        for v in 0..9u32 {
+            assert!(all.leaves_of_root(v as usize) <= 4, "2 shells × cap 2");
+            // A single-root build selects the same leaves in the same
+            // order — the serving batch-parity invariant.
+            let solo = from_hop_shells_capped(&g, vec![v], 2, 2, 42);
+            let solo_recs = hop_shell_records(&g, v, 2, 2, 42);
+            assert_eq!(solo.num_instances(), solo_recs.len());
+            for t in 0..2 {
+                let a: Vec<_> = all
+                    .group_instances(v as usize, t)
+                    .map(|i| all.instance_leaves(i).to_vec())
+                    .collect();
+                let b: Vec<_> = solo
+                    .group_instances(0, t)
+                    .map(|i| solo.instance_leaves(i).to_vec())
+                    .collect();
+                assert_eq!(a, b, "root {v} type {t}");
+            }
+        }
+        // Different seeds select different subsets somewhere.
+        let other = from_hop_shells_capped(&g, (0..9).collect(), 2, 2, 43);
+        assert_ne!(all.leaf_sources(), other.leaf_sources());
+        // Cap 0 = uncapped = the plain hop-shell builder.
+        let uncapped = from_hop_shells_capped(&g, (0..9).collect(), 2, 0, 42);
+        let plain = from_hop_shells(&g, (0..9).collect(), 2);
+        assert_eq!(uncapped.leaf_sources(), plain.leaf_sources());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! [`CheckpointError::Corrupt`] before a single parameter is touched.
 //! Restores are two-phase: parse and validate everything, then mutate.
 
+use flexgraph_graph::io::crc32;
 use flexgraph_tensor::{Adam, ParamSet, Tensor};
 
 const MAGIC: u32 = 0x464c_4758; // "FLGX"
@@ -66,20 +67,6 @@ impl std::fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
-
-/// CRC-32 (IEEE 802.3 polynomial, bitwise). Slow-but-simple: checkpoints
-/// are saved once per epoch, not per message.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
 
 fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
     out.extend_from_slice(&(t.rows() as u32).to_le_bytes());

@@ -30,7 +30,10 @@
 pub mod record;
 pub mod trace;
 
-pub use record::{CommCounters, FabricCounters, PartitionRecord, Stage, StageSample, TraceEpoch};
+pub use record::{
+    CommCounters, FabricCounters, LatencyHistogram, PartitionRecord, ServeRecord, Stage,
+    StageSample, TraceEpoch, LATENCY_BUCKETS,
+};
 pub use trace::{parse_line, TraceLine, TRACE_VERSION};
 
 use std::cell::RefCell;
@@ -228,6 +231,30 @@ pub fn trace_active() -> bool {
 pub fn next_epoch() -> u64 {
     ensure_env_init();
     EPOCH_SEQ.fetch_add(1, Ordering::AcqRel)
+}
+
+/// Opens the `FLEXGRAPH_TRACE` session without allocating an epoch —
+/// the entry point for trace producers that are not epoch-shaped, like
+/// the serving subsystem. Idempotent; a no-op when the variable is
+/// unset or a session is already open.
+pub fn init_env_trace() {
+    ensure_env_init();
+}
+
+/// Writes one serving window to the active trace session. No-op when no
+/// session is open.
+pub fn emit_serve(rec: &ServeRecord) {
+    if !trace_active() {
+        return;
+    }
+    let mut guard = SESSION.lock().unwrap();
+    let Some(s) = guard.as_mut() else { return };
+    let vt = s.next_vt();
+    let line = trace::render_serve(vt, rec);
+    s.line(&line);
+    if let Some(w) = s.out.as_mut() {
+        let _ = w.flush();
+    }
 }
 
 /// Writes one epoch's records to the active trace session (partition

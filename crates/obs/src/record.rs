@@ -157,6 +157,125 @@ impl FabricCounters {
     }
 }
 
+/// Number of power-of-two latency buckets in a [`LatencyHistogram`].
+/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` virtual ticks
+/// (bucket 0 additionally holds latency 0); 24 buckets cover any
+/// realistic virtual-time span.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// A fixed power-of-two histogram over **virtual-time** latencies.
+///
+/// Virtual latencies (completion tick − submission tick) are
+/// deterministic integers, so the histogram — and the p50/p99 the
+/// serve trace derives from it — is byte-stable across runs and thread
+/// counts, unlike any wall-clock percentile. Merging is a field-wise
+/// sum, keeping the commutative/associative contract of this module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Per-bucket counts.
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies.
+    pub total: u64,
+    /// Largest observed latency.
+    pub max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; LATENCY_BUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let b = (64 - latency.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[b.min(LATENCY_BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.total += latency;
+        self.max = self.max.max(latency);
+    }
+
+    /// Field-wise sum (commutative, associative); `max` merges by max.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in percent, e.g. 50 or 99). Returns 0 for an empty
+    /// histogram. Bucketed quantiles are coarse but deterministic.
+    pub fn quantile_bound(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the quantile observation, 1-based, ceiling.
+        let rank = (self.count * q).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i spans [2^i, 2^(i+1)); report the inclusive
+                // upper bound, clamped to the observed max.
+                return ((1u64 << (i + 1)) - 1).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters of one serving window: everything the micro-batcher and
+/// batch executor observed between two trace emissions. All fields are
+/// deterministic functions of the request sequence, so serve traces are
+/// byte-identical across same-seed runs at any `FLEXGRAPH_THREADS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeRecord {
+    /// Requests admitted to the queue.
+    pub enqueued: u64,
+    /// Requests answered.
+    pub served: u64,
+    /// Requests rejected (queue full or admission control).
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest batch executed.
+    pub batch_max: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+    /// Deepest queue observed.
+    pub queue_depth_max: u64,
+    /// Virtual-time request latencies.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeRecord {
+    /// Field-wise sum; maxima merge by max.
+    pub fn merge(&mut self, other: &ServeRecord) {
+        self.enqueued += other.enqueued;
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.batches += other.batches;
+        self.batch_max = self.batch_max.max(other.batch_max);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// Everything one worker observed during one epoch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionRecord {
@@ -350,6 +469,77 @@ mod tests {
     #[should_panic(expected = "matching (epoch, partition)")]
     fn partition_merge_rejects_key_mismatch() {
         sample(0, 1, 1).merge(&sample(0, 2, 1));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for lat in [0u64, 1, 1, 2, 3, 4, 8, 100] {
+            h.record(lat);
+        }
+        assert_eq!(h.count, 8);
+        assert_eq!(h.total, 119);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 3, "latencies 0,1,1");
+        assert_eq!(h.buckets[1], 2, "latencies 2,3");
+        assert_eq!(h.buckets[2], 1, "latency 4");
+        assert_eq!(h.buckets[3], 1, "latency 8");
+        assert_eq!(h.buckets[6], 1, "latency 100 in [64,128)");
+        // p50: rank 4 lands in bucket 1 → bound 3. p99: rank 8 lands in
+        // the last occupied bucket, clamped to the observed max.
+        assert_eq!(h.quantile_bound(50), 3);
+        assert_eq!(h.quantile_bound(99), 100);
+        assert!(h.quantile_bound(50) <= h.quantile_bound(99));
+        assert_eq!(LatencyHistogram::default().quantile_bound(50), 0);
+
+        // Merge = sum of counts, max of maxima.
+        let mut a = LatencyHistogram::default();
+        a.record(5);
+        let mut b = LatencyHistogram::default();
+        b.record(7);
+        b.record(1);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count, 3);
+        assert_eq!(ab.max, 7);
+    }
+
+    #[test]
+    fn serve_record_merge_sums_and_maxes() {
+        let mut a = ServeRecord {
+            enqueued: 10,
+            served: 9,
+            rejected: 1,
+            batches: 2,
+            batch_max: 6,
+            cache_hits: 4,
+            cache_misses: 5,
+            queue_depth_max: 3,
+            ..Default::default()
+        };
+        a.latency.record(4);
+        let mut b = ServeRecord {
+            enqueued: 7,
+            served: 7,
+            batches: 1,
+            batch_max: 7,
+            queue_depth_max: 2,
+            ..Default::default()
+        };
+        b.latency.record(9);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.enqueued, 17);
+        assert_eq!(m.served, 16);
+        assert_eq!(m.batch_max, 7);
+        assert_eq!(m.queue_depth_max, 3);
+        assert_eq!(m.latency.count, 2);
+        let mut m2 = b;
+        m2.merge(&a);
+        assert_eq!(m, m2, "merge is commutative");
     }
 
     #[test]

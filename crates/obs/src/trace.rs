@@ -28,7 +28,7 @@
 //! the schema-validating parser below are hand-rolled for this one
 //! fixed schema.
 
-use crate::record::{FabricCounters, PartitionRecord, Stage, TraceEpoch};
+use crate::record::{FabricCounters, PartitionRecord, ServeRecord, Stage, TraceEpoch};
 use std::fmt::Write as _;
 
 /// Trace format version emitted in the `meta` line.
@@ -108,6 +108,37 @@ pub fn render_epoch(vt: u64, ep: &TraceEpoch, wall: bool) -> String {
     s
 }
 
+/// Renders one serving window as a `serve` line:
+///
+/// ```text
+/// {"k":"serve","vt":4,"reqs":[enqueued,served,rejected],
+///  "batches":[count,max],"cache":[hits,misses],"queue":[depth_max],
+///  "lat":[count,total,max,p50,p99]}
+/// ```
+///
+/// Every field is an integer counter or a bucketed virtual-time
+/// quantile — no wall clocks — so serve traces stay byte-identical
+/// across same-seed runs regardless of thread count.
+pub fn render_serve(vt: u64, rec: &ServeRecord) -> String {
+    format!(
+        "{{\"k\":\"serve\",\"vt\":{},\"reqs\":[{},{},{}],\"batches\":[{},{}],\"cache\":[{},{}],\"queue\":[{}],\"lat\":[{},{},{},{},{}]}}",
+        vt,
+        rec.enqueued,
+        rec.served,
+        rec.rejected,
+        rec.batches,
+        rec.batch_max,
+        rec.cache_hits,
+        rec.cache_misses,
+        rec.queue_depth_max,
+        rec.latency.count,
+        rec.latency.total,
+        rec.latency.max,
+        rec.latency.quantile_bound(50),
+        rec.latency.quantile_bound(99),
+    )
+}
+
 /// A parsed trace line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceLine {
@@ -129,6 +160,16 @@ pub enum TraceLine {
         parts: u64,
         work: u64,
         fabric: FabricCounters,
+    },
+    /// One serving window. The bucketed histogram is not serialized —
+    /// `record.latency` carries only `(count, total, max)` after a
+    /// parse — and `p50`/`p99` are the emitter's bucketed quantile
+    /// bounds.
+    Serve {
+        vt: u64,
+        record: ServeRecord,
+        p50: u64,
+        p99: u64,
     },
 }
 
@@ -156,6 +197,7 @@ pub fn parse_line(line: &str) -> Result<TraceLine, String> {
         }
         "part" => parse_part(&mut p),
         "epoch" => parse_epoch(&mut p),
+        "serve" => parse_serve(&mut p),
         other => Err(format!("unknown record kind {other:?}")),
     }
 }
@@ -273,6 +315,58 @@ fn parse_epoch(p: &mut Parser) -> Result<TraceLine, String> {
         parts,
         work,
         fabric,
+    })
+}
+
+fn parse_serve(p: &mut Parser) -> Result<TraceLine, String> {
+    p.expect(',')?;
+    p.named_key("vt")?;
+    let vt = p.number()?;
+    p.expect(',')?;
+    p.named_key("reqs")?;
+    let r = p.fixed_array(3)?;
+    p.expect(',')?;
+    p.named_key("batches")?;
+    let b = p.fixed_array(2)?;
+    p.expect(',')?;
+    p.named_key("cache")?;
+    let c = p.fixed_array(2)?;
+    p.expect(',')?;
+    p.named_key("queue")?;
+    let q = p.fixed_array(1)?;
+    p.expect(',')?;
+    p.named_key("lat")?;
+    let l = p.fixed_array(5)?;
+    p.expect('}')?;
+    p.end()?;
+    if r[1] > r[0] {
+        return Err("served > enqueued".into());
+    }
+    if l[2] > l[1] && l[0] > 0 {
+        return Err("latency max > total".into());
+    }
+    if l[3] > l[4] {
+        return Err("latency p50 > p99".into());
+    }
+    let mut record = ServeRecord {
+        enqueued: r[0],
+        served: r[1],
+        rejected: r[2],
+        batches: b[0],
+        batch_max: b[1],
+        cache_hits: c[0],
+        cache_misses: c[1],
+        queue_depth_max: q[0],
+        ..Default::default()
+    };
+    record.latency.count = l[0];
+    record.latency.total = l[1];
+    record.latency.max = l[2];
+    Ok(TraceLine::Serve {
+        vt,
+        record,
+        p50: l[3],
+        p99: l[4],
     })
 }
 
@@ -486,6 +580,63 @@ mod tests {
         match parse_line(&wall_line).unwrap() {
             TraceLine::Epoch { fabric, .. } => assert_eq!(fabric.retries, 2),
             other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_round_trip() {
+        let mut r = ServeRecord {
+            enqueued: 40,
+            served: 38,
+            rejected: 2,
+            batches: 5,
+            batch_max: 8,
+            cache_hits: 13,
+            cache_misses: 25,
+            queue_depth_max: 9,
+            ..Default::default()
+        };
+        for lat in [0, 1, 3, 3, 7, 20] {
+            r.latency.record(lat);
+        }
+        let line = render_serve(11, &r);
+        match parse_line(&line).unwrap() {
+            TraceLine::Serve {
+                vt,
+                record,
+                p50,
+                p99,
+            } => {
+                assert_eq!(vt, 11);
+                assert_eq!(record.enqueued, 40);
+                assert_eq!(record.served, 38);
+                assert_eq!(record.rejected, 2);
+                assert_eq!((record.batches, record.batch_max), (5, 8));
+                assert_eq!((record.cache_hits, record.cache_misses), (13, 25));
+                assert_eq!(record.queue_depth_max, 9);
+                assert_eq!(record.latency.count, 6);
+                assert_eq!(record.latency.total, 34);
+                assert_eq!(record.latency.max, 20);
+                assert_eq!(p50, r.latency.quantile_bound(50));
+                assert_eq!(p99, r.latency.quantile_bound(99));
+                assert!(p50 <= p99);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_serve_lines_are_rejected() {
+        for bad in [
+            // served > enqueued is impossible.
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[1,2,0],\"batches\":[1,1],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
+            // p50 > p99 is impossible.
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[2,5,4,7,3]}",
+            // Wrong arity.
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
+            "{\"k\":\"serve\",\"vt\":1}",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
         }
     }
 

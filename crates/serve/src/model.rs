@@ -1,0 +1,280 @@
+//! Versioned model snapshots, the serving forward pass, and hot
+//! checkpoint swap.
+//!
+//! A [`ModelSnapshot`] is an immutable `(version, parameters)` pair.
+//! The server holds the current snapshot behind an `Arc` and swaps it
+//! by **replacement, never mutation**: a new checkpoint is restored
+//! into a *cloned* parameter set ([`ModelSnapshot::with_checkpoint`]),
+//! validated end to end (CRC, shapes — checkpoint v2's two-phase
+//! restore), and only then published. A batch that cloned the old
+//! `Arc` keeps computing against the old parameters untouched, which
+//! is the "a batch never mixes model versions" guarantee.
+//!
+//! The served model is the two-layer head GCN checkpoints carry —
+//! `relu((x_v + a_v) · W1) · W2` — with the aggregation `a_v` computed
+//! over a capped k-hop shell HDG instead of the 1-hop training graph,
+//! so any checkpoint written by [`flexgraph_models::checkpoint::save`]
+//! for a [`flexgraph_models::gcn::Gcn`] is servable as-is.
+
+use crate::ServeError;
+use flexgraph_engine::hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
+use flexgraph_engine::{admission_bytes, MemoryBudget};
+use flexgraph_graph::Graph;
+use flexgraph_hdg::build::{from_hop_shells_capped, hop_shell_records};
+use flexgraph_models::checkpoint;
+use flexgraph_tensor::{xavier_uniform, ParamSet, Tensor};
+use rand::SeedableRng;
+
+/// Static configuration of the served model and its NeighborSelection.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeModelConfig {
+    /// Hop-shell depth `k` of the per-request neighborhood.
+    pub hops: usize,
+    /// Per-shell sampling cap (0 = uncapped) — bounds the transient
+    /// memory of a single request on power-law graphs.
+    pub cap: usize,
+    /// Seed of the deterministic `(seed, root, leaf)` sampling hash.
+    pub seed: u64,
+    /// Aggregation UDF applied at every HDG level.
+    pub op: AggrOp,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Hidden width of the dense head (W1 is `in_dim × hidden`).
+    pub hidden: usize,
+    /// Output width (W2 is `hidden × classes`).
+    pub classes: usize,
+}
+
+impl Default for ServeModelConfig {
+    fn default() -> Self {
+        Self {
+            hops: 2,
+            cap: 16,
+            seed: 0,
+            op: AggrOp::Sum,
+            in_dim: 8,
+            hidden: 16,
+            classes: 4,
+        }
+    }
+}
+
+/// An immutable, versioned parameter snapshot. Slot 0 is W1, slot 1 is
+/// W2 — the exact layout [`flexgraph_models::gcn::Gcn`] registers, so
+/// GCN checkpoints restore directly.
+pub struct ModelSnapshot {
+    version: u64,
+    params: ParamSet,
+}
+
+impl std::fmt::Debug for ModelSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let shapes: Vec<(usize, usize)> = (0..self.params.len())
+            .map(|i| self.params.value(i).shape())
+            .collect();
+        f.debug_struct("ModelSnapshot")
+            .field("version", &self.version)
+            .field("param_shapes", &shapes)
+            .finish()
+    }
+}
+
+fn clone_params(src: &ParamSet) -> ParamSet {
+    let mut dst = ParamSet::new();
+    for i in 0..src.len() {
+        dst.register(src.value(i).clone());
+    }
+    dst
+}
+
+impl ModelSnapshot {
+    /// Version 1: Xavier-initialized parameters (pre-first-swap
+    /// serving, tests).
+    pub fn init(cfg: &ServeModelConfig, init_seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(init_seed);
+        let mut params = ParamSet::new();
+        params.register(xavier_uniform(&mut rng, cfg.in_dim, cfg.hidden));
+        params.register(xavier_uniform(&mut rng, cfg.hidden, cfg.classes));
+        Self { version: 1, params }
+    }
+
+    /// This snapshot's version — the cache-key component.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// First dense layer, `in_dim × hidden`.
+    pub fn w1(&self) -> &Tensor {
+        self.params.value(0)
+    }
+
+    /// Second dense layer, `hidden × classes`.
+    pub fn w2(&self) -> &Tensor {
+        self.params.value(1)
+    }
+
+    /// Builds the successor snapshot from a checkpoint v2 buffer:
+    /// restore into a **clone** of the current parameters (`self` is
+    /// never touched), bump the version. Any validation failure —
+    /// corrupt CRC, shape mismatch — leaves the caller's snapshot the
+    /// serving truth.
+    pub fn with_checkpoint(&self, bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut params = clone_params(&self.params);
+        checkpoint::restore(&mut params, bytes)?;
+        Ok(Self {
+            version: self.version + 1,
+            params,
+        })
+    }
+}
+
+/// Transient bytes the capped k-hop selection of `roots` would
+/// materialize — the hop-shell closure sized with the engine's own
+/// [`admission_bytes`] arithmetic, so serve backpressure and engine
+/// OOM accounting can never disagree. Sized from
+/// [`hop_shell_records`] *before* any HDG is built.
+pub fn selection_admission_bytes(g: &Graph, cfg: &ServeModelConfig, roots: &[u32]) -> usize {
+    let mut closure: std::collections::HashSet<u32> = roots.iter().copied().collect();
+    let mut edges = 0usize;
+    for &r in roots {
+        for (_, leaves) in hop_shell_records(g, r, cfg.hops, cfg.cap, cfg.seed) {
+            edges += leaves.len();
+            closure.extend(leaves);
+        }
+    }
+    admission_bytes(closure.len(), edges, cfg.in_dim)
+}
+
+/// Capped k-hop aggregation for a set of roots: one `(dim)` row per
+/// root, in `roots` order, admission-checked against `budget` up
+/// front (the fused Ha path materializes almost nothing, so the
+/// explicit [`selection_admission_bytes`] check is what actually
+/// enforces the budget). Per-root bitwise independent — see the crate
+/// docs — so this is both the batch path and (with one root) the
+/// reference path.
+pub fn aggregate_roots(
+    g: &Graph,
+    feats: &Tensor,
+    cfg: &ServeModelConfig,
+    roots: &[u32],
+    budget: &MemoryBudget,
+) -> Result<Tensor, ServeError> {
+    budget.check(selection_admission_bytes(g, cfg, roots))?;
+    let hdg = from_hop_shells_capped(g, roots.to_vec(), cfg.hops, cfg.cap, cfg.seed);
+    let plan = AggrPlan::flat(cfg.op);
+    let res = hierarchical_aggregate(&hdg, feats, &plan, Strategy::Ha, budget)?;
+    Ok(res.features)
+}
+
+/// The dense head on pre-summed rows: `relu(s · W1) · W2` where row
+/// `i` of `summed` is `x_v + a_v` for some vertex `v`. Row-independent
+/// (tiled matmul accumulates each output element over ascending `k`),
+/// so head-of-batch outputs equal head-of-one outputs bitwise.
+pub fn dense_head(summed: &Tensor, snap: &ModelSnapshot) -> Tensor {
+    summed.matmul(snap.w1()).relu().matmul(snap.w2())
+}
+
+/// The reference single-request forward: exactly what a batch of one
+/// computes, with no queue, cache, or batching in the loop. The parity
+/// suite holds every served output bitwise equal to this.
+pub fn serve_one(
+    g: &Graph,
+    feats: &Tensor,
+    snap: &ModelSnapshot,
+    cfg: &ServeModelConfig,
+    vertex: u32,
+    budget: &MemoryBudget,
+) -> Result<Vec<f32>, ServeError> {
+    let agg = aggregate_roots(g, feats, cfg, &[vertex], budget)?;
+    let mut summed = Tensor::zeros(1, cfg.in_dim);
+    let x = feats.row(vertex as usize);
+    let a = agg.row(0);
+    for (o, (xv, av)) in summed.row_mut(0).iter_mut().zip(x.iter().zip(a)) {
+        *o = xv + av;
+    }
+    Ok(dense_head(&summed, snap).row(0).to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexgraph_graph::gen::community;
+    use flexgraph_models::checkpoint::CheckpointError;
+
+    fn cfg(ds_dim: usize, classes: usize) -> ServeModelConfig {
+        ServeModelConfig {
+            in_dim: ds_dim,
+            classes,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_swap_bumps_version_and_replaces_params() {
+        let cfg = cfg(8, 4);
+        let old = ModelSnapshot::init(&cfg, 1);
+        // A checkpoint from differently-initialized params of the same
+        // shape.
+        let other = ModelSnapshot::init(&cfg, 2);
+        let bytes = checkpoint::save(other.params());
+        let new = old.with_checkpoint(&bytes).unwrap();
+        assert_eq!(new.version(), old.version() + 1);
+        assert_eq!(new.w1().data(), other.w1().data());
+        assert_ne!(old.w1().data(), new.w1().data(), "old snapshot untouched");
+    }
+
+    #[test]
+    fn bad_checkpoints_are_rejected_and_leave_nothing_changed() {
+        let scfg = cfg(8, 4);
+        let snap = ModelSnapshot::init(&scfg, 1);
+        let mut bytes = checkpoint::save(snap.params());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match snap.with_checkpoint(&bytes) {
+            Err(ServeError::BadCheckpoint(CheckpointError::Corrupt)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Shape mismatch: a checkpoint for a different architecture.
+        let narrow = ModelSnapshot::init(&cfg(8, 3), 1);
+        let wrong = checkpoint::save(narrow.params());
+        assert!(matches!(
+            snap.with_checkpoint(&wrong),
+            Err(ServeError::BadCheckpoint(
+                CheckpointError::ShapeMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn serve_one_is_deterministic_and_shaped() {
+        let ds = community(60, 3, 4, 1, 8, 5);
+        let scfg = cfg(ds.feature_dim(), 4);
+        let snap = ModelSnapshot::init(&scfg, 9);
+        let budget = MemoryBudget::unlimited();
+        let a = serve_one(&ds.graph, &ds.features, &snap, &scfg, 17, &budget).unwrap();
+        let b = serve_one(&ds.graph, &ds.features, &snap, &scfg, 17, &budget).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn admission_failures_surface_as_denied() {
+        let ds = community(60, 3, 4, 1, 8, 5);
+        let scfg = ServeModelConfig {
+            cap: 0, // uncapped shells to force real transients
+            in_dim: ds.feature_dim(),
+            ..Default::default()
+        };
+        let snap = ModelSnapshot::init(&scfg, 9);
+        let tiny = MemoryBudget { bytes: 8 };
+        assert!(matches!(
+            serve_one(&ds.graph, &ds.features, &snap, &scfg, 0, &tiny),
+            Err(ServeError::AdmissionDenied { .. })
+        ));
+    }
+}

@@ -1,0 +1,196 @@
+//! Hot checkpoint swap: serving never pauses, a batch never mixes
+//! model versions, rejected checkpoints change nothing, and the
+//! versioned cache keeps generations perfectly separated.
+
+use flexgraph_engine::MemoryBudget;
+use flexgraph_models::checkpoint::{self, CheckpointError};
+use flexgraph_serve::{
+    serve_one, BatcherConfig, ModelSnapshot, Request, ServeError, ServeModelConfig, Server,
+    ServerConfig,
+};
+
+const INIT_SEED: u64 = 5;
+
+fn make_server() -> (Server, ServeModelConfig) {
+    let ds = flexgraph_graph::gen::community(100, 3, 5, 1, 8, 21);
+    let model = ServeModelConfig {
+        in_dim: ds.feature_dim(),
+        classes: ds.num_classes,
+        ..Default::default()
+    };
+    let cfg = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: 8,
+            max_delay: 16,
+            queue_cap: 256,
+        },
+        model,
+        cache_bytes: 1 << 20,
+        budget: MemoryBudget::unlimited(),
+    };
+    let snap = ModelSnapshot::init(&model, INIT_SEED);
+    (Server::new(ds.graph, ds.features, cfg, snap), model)
+}
+
+/// A checkpoint with parameters visibly different from `INIT_SEED`'s.
+fn other_checkpoint(model: &ServeModelConfig) -> Vec<u8> {
+    checkpoint::save(ModelSnapshot::init(model, INIT_SEED + 1).params())
+}
+
+/// The core guarantee: a batch that began before a swap completes
+/// entirely on the pre-swap snapshot — every response carries the old
+/// version and the old parameters' outputs, bitwise — while requests
+/// arriving after the swap are served by the new version.
+#[test]
+fn in_flight_batches_never_mix_versions_across_a_swap() {
+    let (server, model) = make_server();
+    let ds = flexgraph_graph::gen::community(100, 3, 5, 1, 8, 21);
+    let budget = MemoryBudget::unlimited();
+
+    // A batch "in flight": its snapshot Arc is pinned before the swap.
+    let pinned = server.snapshot();
+    let batch: Vec<Request> = [7u32, 13, 7, 42]
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Request {
+            id: i as u64,
+            vertex: v,
+            submitted_vt: 0,
+        })
+        .collect();
+
+    // Swap lands mid-flight.
+    let v2 = server.swap_checkpoint(&other_checkpoint(&model)).unwrap();
+    assert_eq!(v2, 2);
+    assert_eq!(server.current_version(), 2);
+
+    // The pinned batch still executes uniformly on version 1.
+    let old = ModelSnapshot::init(&model, INIT_SEED);
+    let responses = server.execute_batch(&batch, &pinned).unwrap();
+    assert_eq!(responses.len(), 4);
+    for r in &responses {
+        assert_eq!(r.model_version, 1, "no response may see the new version");
+        let reference =
+            serve_one(&ds.graph, &ds.features, &old, &model, r.vertex, &budget).unwrap();
+        assert_eq!(r.output, reference, "old-version outputs, bitwise");
+    }
+
+    // Post-swap traffic is served by version 2, with v2 outputs.
+    let new = ModelSnapshot::init(&model, INIT_SEED + 1);
+    server.submit(7).unwrap();
+    server.tick(100);
+    let post = server.poll().unwrap();
+    assert_eq!(post[0].model_version, 2);
+    let reference = serve_one(&ds.graph, &ds.features, &new, &model, 7, &budget).unwrap();
+    assert_eq!(post[0].output, reference);
+    assert_ne!(
+        post[0].output, responses[0].output,
+        "different parameters must actually change the answer"
+    );
+}
+
+#[test]
+fn swap_is_atomic_per_batch_even_with_warm_old_version_cache() {
+    let (server, model) = make_server();
+    // Warm the version-1 cache.
+    for v in [3u32, 4, 5] {
+        server.submit(v).unwrap();
+    }
+    server.tick(100);
+    let first = server.flush().unwrap();
+    assert!(first.iter().all(|r| r.model_version == 1));
+
+    server.swap_checkpoint(&other_checkpoint(&model)).unwrap();
+
+    // Same vertices after the swap: v1 cache rows must be invisible —
+    // misses, recomputed under v2.
+    for v in [3u32, 4, 5] {
+        server.submit(v).unwrap();
+    }
+    server.tick(100);
+    let second = server.flush().unwrap();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(b.model_version, 2);
+        assert!(!b.cache_hit, "stale-version rows must never hit");
+        assert_ne!(a.output, b.output);
+    }
+}
+
+#[test]
+fn rejected_checkpoints_leave_the_serving_model_untouched() {
+    let (server, model) = make_server();
+    server.submit(11).unwrap();
+    server.tick(100);
+    let before = server.flush().unwrap();
+
+    // Corrupt buffer: flipped bit in the body.
+    let mut corrupt = other_checkpoint(&model);
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x10;
+    match server.swap_checkpoint(&corrupt) {
+        Err(ServeError::BadCheckpoint(CheckpointError::Corrupt)) => {}
+        other => panic!("expected Corrupt rejection, got {other:?}"),
+    }
+
+    // Wrong architecture: shape mismatch.
+    let narrow = ServeModelConfig {
+        hidden: model.hidden + 1,
+        ..model
+    };
+    let wrong = checkpoint::save(ModelSnapshot::init(&narrow, 1).params());
+    assert!(matches!(
+        server.swap_checkpoint(&wrong),
+        Err(ServeError::BadCheckpoint(
+            CheckpointError::ShapeMismatch { .. }
+        ))
+    ));
+
+    // Still version 1, still the same answers — cache hits included.
+    assert_eq!(server.current_version(), 1);
+    server.submit(11).unwrap();
+    server.tick(100);
+    let after = server.flush().unwrap();
+    assert_eq!(before[0].output, after[0].output);
+    assert_eq!(after[0].model_version, 1);
+    assert!(after[0].cache_hit, "failed swaps must not invalidate");
+}
+
+#[test]
+fn swapping_identical_parameters_changes_version_but_not_answers() {
+    let (server, model) = make_server();
+    let ds = flexgraph_graph::gen::community(100, 3, 5, 1, 8, 21);
+    let budget = MemoryBudget::unlimited();
+    server.submit(9).unwrap();
+    server.tick(100);
+    let before = server.flush().unwrap();
+
+    // Round-trip the *current* parameters through a checkpoint.
+    let same = checkpoint::save(server.snapshot().params());
+    let v2 = server.swap_checkpoint(&same).unwrap();
+    assert_eq!(v2, 2);
+
+    server.submit(9).unwrap();
+    server.tick(100);
+    let after = server.flush().unwrap();
+    assert_eq!(after[0].model_version, 2);
+    assert!(!after[0].cache_hit, "new version starts cold");
+    assert_eq!(
+        before[0].output, after[0].output,
+        "identical parameters, identical answers"
+    );
+    let snap = ModelSnapshot::init(&model, INIT_SEED);
+    let reference = serve_one(&ds.graph, &ds.features, &snap, &model, 9, &budget).unwrap();
+    assert_eq!(after[0].output, reference);
+}
+
+#[test]
+fn repeated_swaps_monotonically_bump_versions() {
+    let (server, model) = make_server();
+    for expect in 2u64..=5 {
+        let v = server.swap_checkpoint(&other_checkpoint(&model)).unwrap();
+        assert_eq!(v, expect);
+    }
+    server.submit(0).unwrap();
+    server.tick(100);
+    assert_eq!(server.flush().unwrap()[0].model_version, 5);
+}

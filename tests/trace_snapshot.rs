@@ -109,6 +109,9 @@ fn every_trace_record_parses_against_the_schema() {
                 assert!(fabric.bytes > 0 && fabric.messages > 0);
                 assert_eq!(fabric.retries, 0, "fault counters excluded by default");
             }
+            TraceLine::Serve { .. } => {
+                panic!("a training trace must not contain serve records");
+            }
         }
     }
     assert_eq!(epoch_records, 2);
