@@ -1,33 +1,42 @@
 //! Scatter kernel baseline: serial vs planned-parallel throughput.
 //!
 //! Measures every scatter kernel (add / mean / max / min / softmax) and
-//! `gather_rows` at two or three edge scales, comparing the seed's
-//! single-threaded kernels against the ScatterPlan-based parallel ones,
-//! and verifies the outputs are bitwise identical before reporting.
-//! Emits `BENCH_scatter.json` in the current directory.
+//! `gather_rows` at three edge scales, comparing the seed's
+//! single-threaded kernels against the ScatterPlan-based parallel ones
+//! at a 1 / 2 / 4 thread sweep, and verifies every planned output is
+//! bitwise identical to the serial one before reporting. Emits
+//! `BENCH_scatter.json` in the current directory.
 //!
-//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25) and thread count
-//! with `FLEXGRAPH_THREADS`. Numbers are whatever the host machine
-//! gives: on a single-core container the planned path's win is cache
-//! locality and branch removal at best, and the JSON records exactly
-//! that — the speedup column is measured, never assumed.
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25). Numbers are
+//! whatever the host machine gives: on a single-core container the
+//! planned path's win is SIMD, cache locality and branch removal at
+//! best, and the JSON records exactly that — the speedup column is
+//! measured, never assumed. `FLEXGRAPH_BENCH_STRICT=1` additionally
+//! asserts the four reduction kernels never regress below serial at one
+//! thread (the committed-baseline gate; off by default because shared
+//! machines jitter).
 
 use flexgraph::tensor::scatter::{
     gather_rows_serial, scatter_add_serial, scatter_add_with_plan, scatter_max_serial,
     scatter_max_with_plan, scatter_mean_serial, scatter_mean_with_plan, scatter_min_serial,
     scatter_min_with_plan, scatter_softmax_serial, scatter_softmax_with_plan, ScatterPlan,
 };
-use flexgraph::tensor::{gather_rows, num_threads, Tensor};
+use flexgraph::tensor::{gather_rows, set_thread_override, simd_backend, Tensor};
 use flexgraph_bench::bench_scale;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One measured kernel at one scale.
+/// The planned-path thread sweep. Serial is measured once per kernel;
+/// each planned measurement runs under `set_thread_override`.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// One measured kernel at one scale and one thread count.
 struct Row {
     scale_name: &'static str,
     edges: usize,
     dim: usize,
     kernel: &'static str,
+    threads: usize,
     serial_rows_per_s: f64,
     planned_rows_per_s: f64,
     bitwise_identical: bool,
@@ -45,8 +54,8 @@ fn fill(n: usize, seed: u64) -> Vec<f32> {
         .collect()
 }
 
-/// Times `f`, adapting repetitions so each measurement runs ≥ ~100 ms,
-/// then takes the best of three windows — the minimum-noise estimate on
+/// Times `f`, adapting repetitions so each measurement runs ≥ ~150 ms,
+/// then takes the best of five windows — the minimum-noise estimate on
 /// shared machines, where any slow window is interference, never the
 /// kernel.
 fn rows_per_s(edges: usize, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
@@ -58,13 +67,13 @@ fn rows_per_s(edges: usize, mut f: impl FnMut() -> Tensor) -> (f64, Tensor) {
             out = std::hint::black_box(f());
         }
         let dt = t0.elapsed();
-        if dt.as_secs_f64() >= 0.1 || reps >= 1 << 14 {
+        if dt.as_secs_f64() >= 0.15 || reps >= 1 << 14 {
             break reps;
         }
         reps *= 4;
     };
     let mut best = 0.0f64;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let t0 = Instant::now();
         for _ in 0..reps {
             out = std::hint::black_box(f());
@@ -90,6 +99,7 @@ fn bench_scale_point(scale_name: &'static str, edges: usize, dim: usize, rows: &
         .map(|e| ((e as u64).wrapping_mul(2654435761) % out_rows as u64) as u32)
         .collect();
     let plan = ScatterPlan::new(&index, out_rows);
+    let feats = Tensor::from_vec(src_rows, dim, fill(src_rows * dim, 17));
 
     type SerialFn = fn(&Tensor, &[u32], usize) -> Tensor;
     type PlannedFn = fn(&Tensor, &ScatterPlan) -> Tensor;
@@ -105,37 +115,47 @@ fn bench_scale_point(scale_name: &'static str, edges: usize, dim: usize, rows: &
         ),
     ];
     for (kernel, serial, planned) in kernels {
+        set_thread_override(Some(1));
         let (s_rate, s_out) = rows_per_s(edges, || serial(&values, &index, out_rows));
-        let (p_rate, p_out) = rows_per_s(edges, || planned(&values, &plan));
+        for t in THREAD_SWEEP {
+            set_thread_override(Some(t));
+            let (p_rate, p_out) = rows_per_s(edges, || planned(&values, &plan));
+            rows.push(Row {
+                scale_name,
+                edges,
+                dim,
+                kernel,
+                threads: t,
+                serial_rows_per_s: s_rate,
+                planned_rows_per_s: p_rate,
+                bitwise_identical: bitwise_eq(&s_out, &p_out),
+            });
+        }
+    }
+
+    // gather_rows: the adjoint kernel, edge-shaped output.
+    set_thread_override(Some(1));
+    let (s_rate, s_out) = rows_per_s(edges, || gather_rows_serial(&feats, &index));
+    for t in THREAD_SWEEP {
+        set_thread_override(Some(t));
+        let (p_rate, p_out) = rows_per_s(edges, || gather_rows(&feats, &index));
         rows.push(Row {
             scale_name,
             edges,
             dim,
-            kernel,
+            kernel: "gather_rows",
+            threads: t,
             serial_rows_per_s: s_rate,
             planned_rows_per_s: p_rate,
             bitwise_identical: bitwise_eq(&s_out, &p_out),
         });
     }
-
-    // gather_rows: the adjoint kernel, edge-shaped output.
-    let feats = Tensor::from_vec(src_rows, dim, fill(src_rows * dim, 17));
-    let (s_rate, s_out) = rows_per_s(edges, || gather_rows_serial(&feats, &index));
-    let (p_rate, p_out) = rows_per_s(edges, || gather_rows(&feats, &index));
-    rows.push(Row {
-        scale_name,
-        edges,
-        dim,
-        kernel: "gather_rows",
-        serial_rows_per_s: s_rate,
-        planned_rows_per_s: p_rate,
-        bitwise_identical: bitwise_eq(&s_out, &p_out),
-    });
+    set_thread_override(None);
 }
 
 fn main() {
     let scale = bench_scale().0;
-    let threads = num_threads();
+    let strict = std::env::var("FLEXGRAPH_BENCH_STRICT").as_deref() == Ok("1");
     let mut rows = Vec::new();
     // Three scales: ~32k, ~256k, ~1M edges at scale 1.0.
     let points: [(&'static str, usize, usize); 3] = [
@@ -151,7 +171,12 @@ fn main() {
     let all_identical = rows.iter().all(|r| r.bitwise_identical);
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"threads_swept\": [{}],",
+        THREAD_SWEEP.map(|t| t.to_string()).join(", ")
+    );
+    let _ = writeln!(json, "  \"simd_backend\": \"{}\",", simd_backend());
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"all_bitwise_identical\": {all_identical},");
     json.push_str("  \"kernels\": [\n");
@@ -160,12 +185,13 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"scale\": \"{}\", \"edges\": {}, \"dim\": {}, \"kernel\": \"{}\", \
-             \"serial_rows_per_s\": {:.0}, \"planned_rows_per_s\": {:.0}, \
+             \"threads\": {}, \"serial_rows_per_s\": {:.0}, \"planned_rows_per_s\": {:.0}, \
              \"speedup\": {:.3}, \"bitwise_identical\": {}}}",
             r.scale_name,
             r.edges,
             r.dim,
             r.kernel,
+            r.threads,
             r.serial_rows_per_s,
             r.planned_rows_per_s,
             speedup,
@@ -177,16 +203,17 @@ fn main() {
     std::fs::write("BENCH_scatter.json", &json).expect("write BENCH_scatter.json");
 
     println!(
-        "{:<8} {:>9} {:>4} {:<16} {:>14} {:>14} {:>8}  bitwise",
-        "scale", "edges", "dim", "kernel", "serial rows/s", "planned rows/s", "speedup"
+        "{:<8} {:>9} {:>4} {:<16} {:>3} {:>14} {:>14} {:>8}  bitwise",
+        "scale", "edges", "dim", "kernel", "thr", "serial rows/s", "planned rows/s", "speedup"
     );
     for r in &rows {
         println!(
-            "{:<8} {:>9} {:>4} {:<16} {:>14.0} {:>14.0} {:>8.3}  {}",
+            "{:<8} {:>9} {:>4} {:<16} {:>3} {:>14.0} {:>14.0} {:>8.3}  {}",
             r.scale_name,
             r.edges,
             r.dim,
             r.kernel,
+            r.threads,
             r.serial_rows_per_s,
             r.planned_rows_per_s,
             r.planned_rows_per_s / r.serial_rows_per_s,
@@ -197,6 +224,25 @@ fn main() {
             }
         );
     }
-    println!("\n{threads} threads; wrote BENCH_scatter.json");
+    println!(
+        "\nswept {THREAD_SWEEP:?} threads ({} simd); wrote BENCH_scatter.json",
+        simd_backend()
+    );
     assert!(all_identical, "planned kernels drifted from serial output");
+    if strict {
+        let reductions = ["scatter_add", "scatter_mean", "scatter_max", "scatter_min"];
+        for r in rows
+            .iter()
+            .filter(|r| r.threads == 1 && reductions.contains(&r.kernel))
+        {
+            let speedup = r.planned_rows_per_s / r.serial_rows_per_s;
+            assert!(
+                speedup >= 1.0,
+                "{} at scale {} regressed below serial at 1 thread: {speedup:.3}",
+                r.kernel,
+                r.scale_name
+            );
+        }
+        println!("strict gate: all 1-thread reduction kernels at or above serial");
+    }
 }

@@ -33,7 +33,10 @@ pub mod sim;
 pub mod trainer;
 
 pub use adb::AdbController;
-pub use balance::{choose_plan, fit_cost_function, generate_plans, CostFn, CostSample};
+pub use balance::{
+    choose_plan, fit_cost_function, generate_plans, merged_dependency_estimates,
+    partition_dependency_estimates, root_dependency_sketches, CostFn, CostSample,
+};
 pub use pipeline::{build_leaf_sync, LeafSync, SlotLevel};
 pub use shard::{make_shards, Shard};
 pub use sim::{simulated_epoch, SimReport};

@@ -33,5 +33,5 @@ pub mod minibatch;
 pub mod nau;
 
 pub use hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
-pub use memory::{admission_bytes, EngineError, MemoryBudget};
+pub use memory::{admission_bytes, planned_admission_bytes, EngineError, MemoryBudget};
 pub use nau::{NeighborSelection, StageTimes};

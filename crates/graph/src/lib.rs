@@ -27,6 +27,7 @@ pub mod bfs;
 pub mod csr;
 pub mod gen;
 pub mod hetero;
+pub mod hll;
 pub mod io;
 pub mod metapath;
 pub mod partition;
@@ -34,4 +35,5 @@ pub mod walk;
 
 pub use csr::{Graph, GraphBuilder, VertexId};
 pub use hetero::TypedGraph;
+pub use hll::{HyperLogLog, ReachSketches};
 pub use partition::Partitioning;

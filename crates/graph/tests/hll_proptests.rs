@@ -1,0 +1,83 @@
+//! HyperLogLog accuracy properties.
+//!
+//! The standard analysis gives a relative standard error of `1.04/√m`
+//! for `m = 2^p` registers. A single run lands within one standard
+//! error only ~68% of the time, so the hard assertions here use a 4σ
+//! envelope (plus a tiny absolute slack for counts where one register
+//! collision is worth a whole item) — tight enough to catch a broken
+//! hash, rank extraction, or bias correction, loose enough to never
+//! flake across the seed sweep.
+
+use flexgraph_graph::HyperLogLog;
+use proptest::prelude::*;
+
+/// Distinct 64-bit items for a (seed, i) pair; SplitMix-style spread so
+/// consecutive seeds do not share items.
+fn item(seed: u64, i: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+}
+
+fn assert_within_envelope(h: &HyperLogLog, n: usize, what: &str) {
+    let est = h.estimate();
+    let envelope = 4.0 * h.error_bound() * n as f64 + 2.0;
+    assert!(
+        (est - n as f64).abs() <= envelope,
+        "{what}: estimated {est:.1} for {n} items (precision {}, envelope {envelope:.1})",
+        h.precision()
+    );
+}
+
+proptest! {
+    /// Estimates stay inside the 4σ error envelope across precisions
+    /// and cardinalities, in both the linear-counting and raw regimes.
+    #[test]
+    fn estimate_tracks_cardinality(
+        seed in 0u64..400,
+        p in 6u32..15,
+        n in 1usize..3000,
+    ) {
+        let mut h = HyperLogLog::new(p);
+        for i in 0..n {
+            h.insert_u64(item(seed, i));
+        }
+        assert_within_envelope(&h, n, "fresh sketch");
+    }
+
+    /// Re-inserting the same items must not move the estimate at all —
+    /// cardinality, not frequency.
+    #[test]
+    fn duplicates_do_not_inflate(seed in 0u64..200, n in 1usize..800) {
+        let mut h = HyperLogLog::new(12);
+        for i in 0..n {
+            h.insert_u64(item(seed, i));
+        }
+        let before = h.estimate();
+        for _ in 0..3 {
+            for i in 0..n {
+                h.insert_u64(item(seed, i));
+            }
+        }
+        prop_assert_eq!(before, h.estimate());
+    }
+
+    /// Merging two sketches estimates the union: overlapping halves
+    /// must land on the distinct count, not the insert count.
+    #[test]
+    fn merge_estimates_the_union(
+        seed in 0u64..200,
+        n in 2usize..1500,
+        overlap_pct in 0usize..101,
+    ) {
+        let overlap = n * overlap_pct / 100;
+        let mut a = HyperLogLog::new(12);
+        let mut b = HyperLogLog::new(12);
+        // a: items [0, n); b: items [n - overlap, 2n - overlap).
+        for i in 0..n {
+            a.insert_u64(item(seed, i));
+            b.insert_u64(item(seed, n - overlap + i));
+        }
+        a.merge(&b);
+        assert_within_envelope(&a, 2 * n - overlap, "merged sketch");
+    }
+}

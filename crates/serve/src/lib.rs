@@ -48,8 +48,8 @@ pub mod server;
 pub use batcher::{BatcherConfig, MicroBatcher, Request};
 pub use cache::{CacheKey, EmbeddingCache};
 pub use model::{
-    aggregate_roots, dense_head, selection_admission_bytes, serve_one, ModelSnapshot,
-    ServeModelConfig,
+    aggregate_roots, aggregate_roots_preadmitted, dense_head, selection_admission_bytes, serve_one,
+    AdmissionPlanner, ModelSnapshot, ServeModelConfig,
 };
 pub use server::{Response, Server, ServerConfig};
 

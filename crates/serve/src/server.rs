@@ -14,7 +14,8 @@
 use crate::batcher::{BatcherConfig, MicroBatcher, Request};
 use crate::cache::{CacheKey, EmbeddingCache};
 use crate::model::{
-    aggregate_roots, dense_head, selection_admission_bytes, ModelSnapshot, ServeModelConfig,
+    aggregate_roots, aggregate_roots_preadmitted, dense_head, selection_admission_bytes,
+    AdmissionPlanner, ModelSnapshot, ServeModelConfig,
 };
 use crate::ServeError;
 use flexgraph_engine::MemoryBudget;
@@ -77,6 +78,10 @@ pub struct Server {
     cache: Mutex<EmbeddingCache>,
     /// Counters of the current trace window.
     window: Mutex<ServeRecord>,
+    /// Sketch-based admission pricing, built only when a budget is
+    /// actually configured — unlimited-budget servers admit everything
+    /// and never consult it.
+    planner: Option<AdmissionPlanner>,
 }
 
 impl Server {
@@ -95,6 +100,11 @@ impl Server {
             feats.rows(),
             "one feature row per vertex"
         );
+        let planner = if cfg.budget.bytes != usize::MAX {
+            Some(AdmissionPlanner::new(&graph, &cfg.model))
+        } else {
+            None
+        };
         Self {
             graph,
             feats,
@@ -103,6 +113,7 @@ impl Server {
             batcher: Mutex::new(MicroBatcher::new(cfg.batcher)),
             cache: Mutex::new(EmbeddingCache::new(cfg.cache_bytes)),
             window: Mutex::new(ServeRecord::default()),
+            planner,
         }
     }
 
@@ -207,9 +218,18 @@ impl Server {
     }
 
     /// Transient bytes a batch would materialize — see
-    /// [`selection_admission_bytes`].
+    /// [`selection_admission_bytes`]. This is the exact (BFS-walked)
+    /// arithmetic; budgeted servers admit batches against the sketch
+    /// estimate instead ([`Server::planned_batch_admission_bytes`]).
     pub fn batch_admission_bytes(&self, roots: &[u32]) -> usize {
         selection_admission_bytes(&self.graph, &self.cfg.model, roots)
+    }
+
+    /// The admission planner's sketch estimate of
+    /// [`Server::batch_admission_bytes`]; `None` on unlimited-budget
+    /// servers, which build no planner.
+    pub fn planned_batch_admission_bytes(&self, roots: &[u32]) -> Option<usize> {
+        self.planner.as_ref().map(|p| p.planned_bytes(roots))
     }
 
     /// Executes one batch against a pinned snapshot. Public so the swap
@@ -276,12 +296,24 @@ impl Server {
         let (hits1, misses1) = cache.stats();
         drop(cache);
 
-        // Phase 2 — compute. Admission control happens inside
-        // aggregate_roots (selection sizing + the engine's own budget
-        // checks); either rejection sheds the whole batch.
+        // Phase 2 — compute. Admission control: budgeted servers price
+        // the selection from the HLL planner's sketches (no BFS on the
+        // admission path) and then aggregate pre-admitted; unlimited
+        // servers take the exact aggregate_roots path unchanged. The
+        // engine's own per-step budget checks run either way; any
+        // rejection sheds the whole batch.
         let execute = || -> Result<Vec<Vec<f32>>, ServeError> {
             let fresh = if need_agg.is_empty() {
                 Tensor::zeros(0, m.in_dim)
+            } else if let Some(planner) = &self.planner {
+                self.cfg.budget.check(planner.planned_bytes(&need_agg))?;
+                aggregate_roots_preadmitted(
+                    &self.graph,
+                    &self.feats,
+                    m,
+                    &need_agg,
+                    &self.cfg.budget,
+                )?
             } else {
                 aggregate_roots(&self.graph, &self.feats, m, &need_agg, &self.cfg.budget)?
             };

@@ -13,7 +13,25 @@
 //! vectorize (standing in for the paper's AVX-512 kernels).
 
 use crate::par::parallel_for;
+use crate::simd;
 use crate::tensor::Tensor;
+
+/// Edge-position lookahead for the software prefetch in the fused
+/// segment walk: while reducing edge `e`, the row of edge `e +
+/// PREFETCH_DIST` is pulled toward L1. Segments average a handful of
+/// edges, so the prefetch deliberately reaches across segment
+/// boundaries (within the thread's chunk) to stay ahead of the
+/// permuted-gather misses.
+const PREFETCH_DIST: usize = 16;
+
+/// `f32`s per cache line; the prefetch walks the whole row in
+/// line-sized strides so multi-line rows (dim > 16) are fully covered.
+const FLOATS_PER_LINE: usize = 16;
+
+/// Value-tensor footprint below which the fused walk skips prefetching:
+/// a cache-resident gather never misses, so the prefetch instructions
+/// (and the extra `idx_of` probe per edge) are pure overhead.
+const PREFETCH_MIN_VALUE_BYTES: usize = 2 << 20;
 
 /// Built-in reduction kinds (the paper's built-in aggregation functions:
 /// sum, average, max, min — §6).
@@ -50,30 +68,71 @@ fn check(feats: &Tensor, offsets: &[usize], src: &[u32]) {
 /// [`crate::scatter`].
 ///
 /// `out` must have `offsets.len() - 1` rows. Edge positions
-/// `offsets[i]..offsets[i+1]` feed output row `i`; `row_of(e)` resolves
-/// edge position `e` to its source feature row (a direct feature read
-/// for fusion, a permuted value-row read for planned scatter, a
-/// gathered read for the distributed fold). Each output row is reduced
-/// by exactly one thread, in ascending edge-position order, so the
-/// result is race-free and bitwise-deterministic for any thread count.
+/// `offsets[i]..offsets[i+1]` feed output row `i`; `idx_of(e)` resolves
+/// edge position `e` to its source row *index* in `values` (the direct
+/// source id for fusion, a permuted edge id for planned scatter, a
+/// gathered row id for the distributed fold). The gather is **fused**
+/// into the walk: each segment streams its permuted rows straight out
+/// of `values` exactly once — no materialized gather — while a
+/// software prefetch ([`PREFETCH_DIST`] edges ahead, clamped to the
+/// thread's chunk) hides the irregular-access latency that dominates
+/// this kernel at scale. The per-row accumulate runs on the
+/// compile-time SIMD backend ([`crate::simd`]), whose lanes carry
+/// independent columns only.
+///
+/// Each output row is reduced by exactly one thread, in ascending
+/// edge-position order, so the result is race-free and
+/// bitwise-deterministic for any thread count.
 ///
 /// `Sum` accumulates into `out`'s existing content; `Mean`/`Max`/`Min`
 /// assume a zeroed `out` (empty segments stay zero).
-pub(crate) fn segment_apply_into<'a, F>(
+pub(crate) fn segment_apply_into<F>(
     out: &mut Tensor,
     offsets: &[usize],
     kind: Reduce,
-    row_of: F,
+    values: &Tensor,
+    idx_of: F,
 ) where
-    F: Fn(usize) -> &'a [f32] + Sync,
+    F: Fn(usize) -> usize + Sync,
 {
     let n = offsets.len() - 1;
     let d = out.cols();
     debug_assert_eq!(out.rows(), n, "one output row per segment");
+    assert_eq!(values.cols(), d, "value width must match output width");
     if d == 0 {
         return;
     }
+    let vdata = values.data();
+    let idx_of = &idx_of;
+    // A cache-resident gather gains nothing from prefetching.
+    let prefetch_on = std::mem::size_of_val(vdata) >= PREFETCH_MIN_VALUE_BYTES;
     parallel_for(n, out.data_mut(), d, |seg0, chunk| {
+        // Last edge position owned by this thread's chunk: the prefetch
+        // lookahead stops here so `idx_of` is never probed out of range.
+        let chunk_end = offsets[seg0 + chunk.len() / d];
+        let prefetch = |e: usize| {
+            let pf = e + PREFETCH_DIST;
+            if prefetch_on && pf < chunk_end {
+                let row = &vdata[idx_of(pf) * d..];
+                let mut c = 0;
+                while c < d {
+                    simd::prefetch_read(row[c..].as_ptr());
+                    c += FLOATS_PER_LINE;
+                }
+            }
+        };
+        // SAFETY (for the unchecked row reads below): every caller
+        // validates its index source before entering the kernel —
+        // `check()` bounds `src`, `ScatterPlan::new` bounds `perm`
+        // against the edge count and `check_values` pins the edge count
+        // to `values.rows()`, and `scatter_add_gathered_into` asserts
+        // its `edge_rows` entries — so `idx_of(e) * d + d` never
+        // exceeds `vdata.len()`.
+        let row = |e: usize| {
+            let r = idx_of(e);
+            debug_assert!((r + 1) * d <= vdata.len());
+            unsafe { vdata.get_unchecked(r * d..r * d + d) }
+        };
         for (si, orow) in chunk.chunks_mut(d).enumerate() {
             let seg = seg0 + si;
             let lo = offsets[seg];
@@ -81,16 +140,11 @@ pub(crate) fn segment_apply_into<'a, F>(
             match kind {
                 Reduce::Sum | Reduce::Mean => {
                     for e in lo..hi {
-                        let srow = row_of(e);
-                        for (o, &x) in orow.iter_mut().zip(srow) {
-                            *o += x;
-                        }
+                        prefetch(e);
+                        simd::add_assign(orow, row(e));
                     }
                     if kind == Reduce::Mean && hi > lo {
-                        let inv = 1.0 / (hi - lo) as f32;
-                        for o in orow.iter_mut() {
-                            *o *= inv;
-                        }
+                        simd::scale_assign(orow, 1.0 / (hi - lo) as f32);
                     }
                 }
                 Reduce::Max | Reduce::Min => {
@@ -106,13 +160,11 @@ pub(crate) fn segment_apply_into<'a, F>(
                         *o = init;
                     }
                     for e in lo..hi {
-                        let srow = row_of(e);
-                        for (o, &x) in orow.iter_mut().zip(srow) {
-                            *o = if kind == Reduce::Max {
-                                o.max(x)
-                            } else {
-                                o.min(x)
-                            };
+                        prefetch(e);
+                        if kind == Reduce::Max {
+                            simd::max_assign(orow, row(e));
+                        } else {
+                            simd::min_assign(orow, row(e));
                         }
                     }
                 }
@@ -127,7 +179,7 @@ pub fn segment_reduce(feats: &Tensor, offsets: &[usize], src: &[u32], kind: Redu
     check(feats, offsets, src);
     let n = offsets.len() - 1;
     let mut out = Tensor::zeros(n, feats.cols());
-    segment_apply_into(&mut out, offsets, kind, |e| feats.row(src[e] as usize));
+    segment_apply_into(&mut out, offsets, kind, feats, |e| src[e] as usize);
     out
 }
 

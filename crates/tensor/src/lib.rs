@@ -38,6 +38,7 @@ pub mod init;
 pub mod optim;
 pub mod par;
 pub mod scatter;
+pub mod simd;
 pub mod tensor;
 
 pub use autograd::{Graph, NodeId};
@@ -50,4 +51,5 @@ pub use scatter::{
     scatter_max_with_plan, scatter_mean, scatter_mean_with_plan, scatter_min,
     scatter_min_with_plan, scatter_softmax, scatter_softmax_with_plan, ScatterPlan,
 };
+pub use simd::backend as simd_backend;
 pub use tensor::Tensor;

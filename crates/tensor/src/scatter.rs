@@ -28,11 +28,94 @@
 
 use crate::fusion::{segment_apply_into, Reduce};
 use crate::par::{num_threads, parallel_for, parallel_ranges};
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Work threshold (in `f32` elements touched) below which kernels stay
 /// serial; mirrors the cutoff in [`crate::par::parallel_for`].
 const PAR_CUTOFF: usize = 16 * 1024;
+
+/// Value-tensor footprint above which the permuted gather of the
+/// segment walk stops being cache-resident and an edge-order scan
+/// (sequential value reads) wins. Tuned on the scatter baseline;
+/// roughly "larger than a per-core L2".
+const EDGE_SCAN_MIN_VALUE_BYTES: usize = 4 << 20;
+
+/// Output footprint below which the edge-order scan's random
+/// destination writes stay cache-resident. Above this, random writes
+/// cost as much as the random reads they replace and the segment walk
+/// (sequential writes, prefetched gather) wins again.
+const EDGE_SCAN_MAX_OUT_BYTES: usize = 2 << 20;
+
+/// Chooses between the two bitwise-identical walk orders of a planned
+/// scatter: `true` selects the destination-owned *edge-order scan*
+/// (stream `values`, write into a cache-resident output), `false` the
+/// fused *segment walk* (gather `values` through `perm`, stream the
+/// output). Purely a planning decision — both walks reduce every
+/// destination in ascending original-edge order, so the result is
+/// bit-identical either way.
+fn edge_scan_profitable(edges: usize, out_rows: usize, d: usize) -> bool {
+    let value_bytes = edges * d * std::mem::size_of::<f32>();
+    let out_bytes = out_rows * d * std::mem::size_of::<f32>();
+    value_bytes >= EDGE_SCAN_MIN_VALUE_BYTES && out_bytes <= EDGE_SCAN_MAX_OUT_BYTES
+}
+
+/// Destination-owned edge-order scan: every thread walks the full COO
+/// `index` in original edge order and accumulates only the rows whose
+/// destination falls in its chunk. Value rows are read *sequentially*
+/// (the access pattern the serial reference enjoys), destination rows
+/// are written randomly but stay cache-resident by the
+/// [`edge_scan_profitable`] precondition. Per destination the
+/// accumulation order is ascending edge order — exactly the segment
+/// walk's order — so the two walks are bitwise interchangeable.
+///
+/// For `Max`/`Min` the chunk is first filled with the `±∞` sentinel;
+/// callers rewrite surviving sentinels to zero (the serial reference's
+/// convention, which also zeroes empty destinations).
+fn scatter_edge_scan_into(out: &mut Tensor, values: &Tensor, plan: &ScatterPlan, kind: Reduce) {
+    let d = out.cols();
+    let index: &[u32] = &plan.index;
+    let offsets: &[usize] = &plan.offsets;
+    let vdata = values.data();
+    parallel_for(plan.out_rows, out.data_mut(), d, |r0, chunk| {
+        let rows = chunk.len() / d;
+        // With one chunk every destination is owned: skip the test.
+        let full = rows == plan.out_rows;
+        if matches!(kind, Reduce::Max | Reduce::Min) {
+            let init = if kind == Reduce::Max {
+                f32::NEG_INFINITY
+            } else {
+                f32::INFINITY
+            };
+            chunk.fill(init);
+        }
+        for (e, &dst) in index.iter().enumerate() {
+            let dst = dst as usize;
+            if !full && (dst < r0 || dst >= r0 + rows) {
+                continue;
+            }
+            let lo = (dst - r0) * d;
+            // SAFETY: the plan validated every `dst < out_rows` at build
+            // time and this chunk owns rows `r0..r0 + rows`; `values`
+            // has one `d`-wide row per edge (checked by the caller).
+            let orow = unsafe { chunk.get_unchecked_mut(lo..lo + d) };
+            let srow = unsafe { vdata.get_unchecked(e * d..e * d + d) };
+            match kind {
+                Reduce::Sum | Reduce::Mean => simd::add_assign(orow, srow),
+                Reduce::Max => simd::max_assign(orow, srow),
+                Reduce::Min => simd::min_assign(orow, srow),
+            }
+        }
+        if kind == Reduce::Mean {
+            for (r, orow) in chunk.chunks_mut(d).enumerate() {
+                let c = offsets[r0 + r + 1] - offsets[r0 + r];
+                if c > 0 {
+                    simd::scale_assign(orow, 1.0 / c as f32);
+                }
+            }
+        }
+    });
+}
 
 /// A reusable execution plan for scatter kernels over one COO index.
 ///
@@ -148,13 +231,21 @@ impl std::fmt::Debug for ScatterPlan {
 // Planned kernels (parallel, destination-owned, bitwise-deterministic).
 // ---------------------------------------------------------------------
 
+/// Runs one planned reduction through whichever walk order the shape
+/// heuristic prefers; both orders are bitwise-identical by contract.
+fn scatter_reduce_with_plan(out: &mut Tensor, values: &Tensor, plan: &ScatterPlan, kind: Reduce) {
+    if edge_scan_profitable(plan.num_edges(), plan.out_rows, values.cols()) {
+        scatter_edge_scan_into(out, values, plan, kind);
+    } else {
+        segment_apply_into(out, &plan.offsets, kind, values, |e| plan.perm[e] as usize);
+    }
+}
+
 /// Planned [`scatter_add`]: sums value rows per destination segment.
 pub fn scatter_add_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
     plan.check_values(values);
     let mut out = Tensor::zeros(plan.out_rows, values.cols());
-    segment_apply_into(&mut out, &plan.offsets, Reduce::Sum, |e| {
-        values.row(plan.perm[e] as usize)
-    });
+    scatter_reduce_with_plan(&mut out, values, plan, Reduce::Sum);
     out
 }
 
@@ -162,9 +253,7 @@ pub fn scatter_add_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
 pub fn scatter_mean_with_plan(values: &Tensor, plan: &ScatterPlan) -> Tensor {
     plan.check_values(values);
     let mut out = Tensor::zeros(plan.out_rows, values.cols());
-    segment_apply_into(&mut out, &plan.offsets, Reduce::Mean, |e| {
-        values.row(plan.perm[e] as usize)
-    });
+    scatter_reduce_with_plan(&mut out, values, plan, Reduce::Mean);
     out
 }
 
@@ -186,13 +275,12 @@ fn scatter_extreme_with_plan(
 ) -> Tensor {
     plan.check_values(values);
     let mut out = Tensor::zeros(plan.out_rows, values.cols());
-    segment_apply_into(&mut out, &plan.offsets, kind, |e| {
-        values.row(plan.perm[e] as usize)
-    });
+    scatter_reduce_with_plan(&mut out, values, plan, kind);
     // The serial reference folds from a ±∞ sentinel and rewrites any
     // surviving sentinel to zero; replicate that so results match
     // elementwise even for infinite inputs. (Empty destinations are
-    // already zero on both paths.)
+    // zero after the segment walk and sentinel-valued after the edge
+    // scan — the rewrite normalizes both.)
     for x in out.data_mut() {
         if *x == init {
             *x = 0.0;
@@ -220,8 +308,11 @@ pub fn scatter_add_gathered_into(
         "scatter needs one source row per edge"
     );
     assert_eq!(out.rows(), plan.out_rows, "output rows must match plan");
-    segment_apply_into(out, &plan.offsets, Reduce::Sum, |e| {
-        src.row(edge_rows[plan.perm[e] as usize] as usize)
+    if let Some(&m) = edge_rows.iter().max() {
+        assert!((m as usize) < src.rows(), "source row {m} out of range");
+    }
+    segment_apply_into(out, &plan.offsets, Reduce::Sum, src, |e| {
+        edge_rows[plan.perm[e] as usize] as usize
     });
 }
 

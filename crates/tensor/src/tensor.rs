@@ -7,6 +7,7 @@
 //! same buffer via [`Tensor::reshape_rows`].
 
 use crate::par::{parallel_for, parallel_ranges, SendPtr};
+use crate::simd;
 use std::fmt;
 
 /// Matmul row-block size: the unit of parallel work handed to the pool
@@ -653,7 +654,10 @@ fn pack_b_tiles(b: &[f32], k: usize, n: usize) -> Vec<f32> {
 /// `kb×nb` B-tile into `ostripe`. `NR` accumulators live in registers
 /// across the whole K-tile; the ragged tail runs the same ascending-K,
 /// one-product-at-a-time order, so the accumulation chain per output
-/// element is identical to [`matmul_rows_serial`]'s.
+/// element is identical to [`matmul_rows_serial`]'s. The per-K
+/// multiply-accumulate is the SIMD backend's [`simd::mul_add_assign`]
+/// — separate mul and add (never FMA), lanes over independent columns,
+/// so it is bitwise-equal to the scalar chain.
 #[inline]
 fn matmul_micro(atile: &[f32], tile: &[f32], ostripe: &mut [f32], nb: usize) {
     let mut j = 0;
@@ -662,9 +666,7 @@ fn matmul_micro(atile: &[f32], tile: &[f32], ostripe: &mut [f32], nb: usize) {
         acc.copy_from_slice(&ostripe[j..j + NR]);
         for (kk, &av) in atile.iter().enumerate() {
             let brow = &tile[kk * nb + j..kk * nb + j + NR];
-            for (x, &bv) in acc.iter_mut().zip(brow) {
-                *x += av * bv;
-            }
+            simd::mul_add_assign(&mut acc, av, brow);
         }
         ostripe[j..j + NR].copy_from_slice(&acc);
         j += NR;
@@ -672,9 +674,7 @@ fn matmul_micro(atile: &[f32], tile: &[f32], ostripe: &mut [f32], nb: usize) {
     if j < nb {
         for (kk, &av) in atile.iter().enumerate() {
             let brow = &tile[kk * nb + j..(kk + 1) * nb];
-            for (x, &bv) in ostripe[j..].iter_mut().zip(brow) {
-                *x += av * bv;
-            }
+            simd::mul_add_assign(&mut ostripe[j..], av, brow);
         }
     }
 }
@@ -702,10 +702,7 @@ fn matmul_micro_m<const M: usize>(
         for kk in 0..kb {
             let brow = &tile[kk * nb + j..kk * nb + j + NR];
             for (arow, a) in at.iter().zip(acc.iter_mut()) {
-                let av = arow[kk];
-                for (x, &bv) in a.iter_mut().zip(brow) {
-                    *x += av * bv;
-                }
+                simd::mul_add_assign(a, arow[kk], brow);
             }
         }
         for (a, o) in acc.iter().zip(os.iter_mut()) {
@@ -717,9 +714,7 @@ fn matmul_micro_m<const M: usize>(
         for (arow, o) in at.iter().zip(os.iter_mut()) {
             for (kk, &av) in arow.iter().enumerate() {
                 let brow = &tile[kk * nb + j..(kk + 1) * nb];
-                for (x, &bv) in o[j..].iter_mut().zip(brow) {
-                    *x += av * bv;
-                }
+                simd::mul_add_assign(&mut o[j..], av, brow);
             }
         }
     }

@@ -154,6 +154,23 @@ fn single_segment_takes_whole_input() {
 }
 
 #[test]
+fn edge_scan_walk_order_is_bitwise_deterministic_across_threads() {
+    // 32768 edges × 32 columns = 4 MiB of values into a 128 KiB output:
+    // exactly the footprint where the planned path switches from the
+    // fused segment walk to the destination-owned edge-order scan. Both
+    // walk orders accumulate each destination in ascending original
+    // edge order, so the switch must be invisible bit-for-bit.
+    let rows = 32_768;
+    let cols = 32;
+    let out_rows = 1024;
+    let values = Tensor::from_vec(rows, cols, fill(rows * cols, 29));
+    let index: Vec<u32> = (0..rows)
+        .map(|r| ((r * 2654435761) % out_rows) as u32)
+        .collect();
+    check_all_kernels(&values, &index, out_rows);
+}
+
+#[test]
 fn gather_rows_is_bitwise_deterministic_across_threads() {
     let _guard = sweep_guard();
     let src = Tensor::from_vec(512, 64, fill(512 * 64, 23));

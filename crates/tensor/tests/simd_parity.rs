@@ -1,0 +1,128 @@
+//! Scalar-vs-SIMD bitwise parity.
+//!
+//! The `simd` module's contract: the exported lane-parallel ops are
+//! **bit-identical** to the always-compiled `simd::scalar` reference for
+//! every length — vectorization happens across independent columns, so
+//! no accumulation order changes and no FMA fuses a rounding step away.
+//! These proptests drive both levels: the raw ops over random lengths
+//! (below, at, and not aligned to the 8-lane width), and the planned
+//! scatter kernels over random shapes with unaligned dims, dims smaller
+//! than one lane, and empty segments.
+
+use flexgraph_tensor::scatter::{
+    scatter_add_serial, scatter_add_with_plan, scatter_max_serial, scatter_max_with_plan,
+    scatter_mean_serial, scatter_mean_with_plan, scatter_min_serial, scatter_min_with_plan,
+    ScatterPlan,
+};
+use flexgraph_tensor::simd::{self, scalar};
+use flexgraph_tensor::Tensor;
+use proptest::prelude::*;
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{what}: element {i}: {a:?} vs {b:?}"
+        );
+    }
+}
+
+proptest! {
+    /// The five exported ops agree bit-for-bit with the scalar reference
+    /// at every length, including 0, sub-lane lengths (< 8), exact lane
+    /// multiples, and ragged tails.
+    #[test]
+    fn exported_ops_bitwise_match_scalar(
+        len in 0usize..70,
+        a in -8.0f32..8.0,
+        seedx in proptest::collection::vec(-100.0f32..100.0, 70),
+        seedy in proptest::collection::vec(-100.0f32..100.0, 70),
+    ) {
+        let x = &seedx[..len];
+        let y = &seedy[..len];
+
+        let mut got = y.to_vec();
+        let mut want = y.to_vec();
+        simd::add_assign(&mut got, x);
+        scalar::add_assign(&mut want, x);
+        assert_bits_eq(&got, &want, "add_assign");
+
+        let mut got = y.to_vec();
+        let mut want = y.to_vec();
+        simd::mul_add_assign(&mut got, a, x);
+        scalar::mul_add_assign(&mut want, a, x);
+        assert_bits_eq(&got, &want, "mul_add_assign");
+
+        let mut got = y.to_vec();
+        let mut want = y.to_vec();
+        simd::scale_assign(&mut got, a);
+        scalar::scale_assign(&mut want, a);
+        assert_bits_eq(&got, &want, "scale_assign");
+
+        let mut got = y.to_vec();
+        let mut want = y.to_vec();
+        simd::max_assign(&mut got, x);
+        scalar::max_assign(&mut want, x);
+        assert_bits_eq(&got, &want, "max_assign");
+
+        let mut got = y.to_vec();
+        let mut want = y.to_vec();
+        simd::min_assign(&mut got, x);
+        scalar::min_assign(&mut want, x);
+        assert_bits_eq(&got, &want, "min_assign");
+    }
+
+    /// Planned reductions over random shapes stay bitwise equal to the
+    /// serial kernels when the column count is smaller than one SIMD
+    /// lane, unaligned to it, or exactly it — and when trailing
+    /// destinations receive no edges at all (empty segments).
+    #[test]
+    fn planned_kernels_bitwise_match_serial_at_awkward_dims(
+        rows in 1usize..60,
+        dim in 1usize..14,
+        out_rows in 1usize..24,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let data: Vec<f32> = (0..rows * dim)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) * 20.0 - 10.0
+            })
+            .collect();
+        let values = Tensor::from_vec(rows, dim, data);
+        // Indices hit only the lower half of the destinations, so the
+        // upper half is guaranteed-empty segments.
+        let lo = (out_rows / 2).max(1);
+        let index: Vec<u32> = (0..rows)
+            .map(|r| ((r as u64 * 31 + seed) % lo as u64) as u32)
+            .collect();
+        let plan = ScatterPlan::new(&index, out_rows);
+
+        type SerialFn = fn(&Tensor, &[u32], usize) -> Tensor;
+        type PlannedFn = fn(&Tensor, &ScatterPlan) -> Tensor;
+        let kernels: [(&str, SerialFn, PlannedFn); 4] = [
+            ("add", scatter_add_serial, scatter_add_with_plan),
+            ("mean", scatter_mean_serial, scatter_mean_with_plan),
+            ("max", scatter_max_serial, scatter_max_with_plan),
+            ("min", scatter_min_serial, scatter_min_with_plan),
+        ];
+        for (name, serial, planned) in kernels {
+            let want = serial(&values, &index, out_rows);
+            let got = planned(&values, &plan);
+            assert_bits_eq(got.data(), want.data(), name);
+        }
+    }
+}
+
+/// The compiled backend is a compile-time fact; make the test log state
+/// which one this run actually exercised.
+#[test]
+fn report_active_backend() {
+    let b = simd::backend();
+    assert!(b == "avx2" || b == "scalar", "unknown backend {b}");
+    eprintln!("simd backend under test: {b}");
+}
