@@ -132,7 +132,9 @@ impl ChaosSchedule {
 }
 
 /// SplitMix64 finalizer: a strong 64-bit mix, the standard seeding hash.
-fn splitmix64(x: u64) -> u64 {
+/// Shared with [`crate::det`] so flaky-rack drops use the same generator
+/// family as chaos verdicts.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -35,6 +35,7 @@
 //! message batch.
 
 use crate::chaos::ChaosSchedule;
+use crate::clock::{self, backoff_for, wait_until};
 use crate::stats::{CommStats, CostModel};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -441,6 +442,15 @@ impl WorkerComm {
         }
     }
 
+    /// The earliest pending retransmission deadline across all peers, if
+    /// any message is unacked — what bounds the next blocking wait.
+    fn earliest_retry(&self) -> Option<Instant> {
+        self.unacked
+            .iter()
+            .flat_map(|m| m.values().map(|u| u.next_retry))
+            .min()
+    }
+
     /// Retransmits every overdue unacked message; errors once a peer has
     /// exhausted the attempt budget.
     fn pump_retries(&mut self) -> Result<(), CommError> {
@@ -521,7 +531,7 @@ impl WorkerComm {
         self.flush_all_held();
         let retry = self.shared.retry;
         let deadline = Instant::now() + retry.patience;
-        let tick = std::cmp::max(retry.base_timeout / 4, Duration::from_millis(1));
+        let tick = clock::tick_of(&retry);
         loop {
             if let Some(pos) = self
                 .pending
@@ -532,12 +542,16 @@ impl WorkerComm {
                 wait_until(msg.deliver_at);
                 return Ok(msg);
             }
-            match self.receiver.recv_timeout(tick) {
+            // Block exactly until the next thing that could need us: an
+            // arriving packet, the next due retransmission, or the
+            // patience expiry — never a fixed sleep longer than one tick.
+            let wait = clock::next_wait(Instant::now(), deadline, self.earliest_retry(), tick);
+            match self.receiver.recv_timeout(wait) {
                 Ok(pkt) => self.process_packet(pkt)?,
                 Err(RecvTimeoutError::Timeout) => {}
                 // Can't happen (we hold a clone of our own sender), but
                 // don't busy-spin if it somehow does.
-                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(tick),
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(wait),
             }
             self.pump_retries()?;
             if Instant::now() > deadline {
@@ -615,12 +629,13 @@ impl WorkerComm {
     fn drain_unacked(&mut self) -> Result<(), CommError> {
         let retry = self.shared.retry;
         let deadline = Instant::now() + retry.patience;
-        let tick = std::cmp::max(retry.base_timeout / 4, Duration::from_millis(1));
+        let tick = clock::tick_of(&retry);
         while self.unacked.iter().any(|m| !m.is_empty()) {
-            match self.receiver.recv_timeout(tick) {
+            let wait = clock::next_wait(Instant::now(), deadline, self.earliest_retry(), tick);
+            match self.receiver.recv_timeout(wait) {
                 Ok(pkt) => self.process_packet(pkt)?,
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(tick),
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(wait),
             }
             self.pump_retries()?;
             if Instant::now() > deadline {
@@ -679,21 +694,6 @@ fn delivery_instant(model: CostModel, wire_us: f64, chaos_delay_us: f64) -> Inst
         Instant::now() + Duration::from_nanos((us * 1_000.0) as u64)
     } else {
         Instant::now()
-    }
-}
-
-fn backoff_for(retry: RetryPolicy, attempts: u32) -> Duration {
-    let exp = attempts.saturating_sub(1).min(16);
-    std::cmp::min(
-        retry.base_timeout * 2u32.saturating_pow(exp),
-        retry.max_backoff,
-    )
-}
-
-fn wait_until(t: Instant) {
-    let now = Instant::now();
-    if t > now {
-        std::thread::sleep(t - now);
     }
 }
 
@@ -1001,8 +1001,9 @@ mod tests {
             let h0 = s.spawn(move |_| {
                 // First send adopts the (empty) schedule.
                 w0.send(1, 1, Bytes::from_static(b"a")).unwrap();
+                let tick = clock::tick_of(&RetryPolicy::snappy());
                 while !installed_ref.load(Ordering::Acquire) {
-                    std::thread::yield_now();
+                    std::thread::sleep(tick);
                 }
                 // A schedule installed mid-batch must NOT apply yet.
                 w0.send(1, 1, Bytes::from_static(b"b")).unwrap();

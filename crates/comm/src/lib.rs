@@ -20,8 +20,16 @@
 //! single-worker crashes — the substrate `tests/chaos.rs` uses to prove
 //! bitwise-identical epoch outputs under any fault schedule.
 
+//!
+//! For cluster sizes beyond the host's core count, [`det`] provides a
+//! deterministic virtual-time discrete-event runtime with the same
+//! send/recv/barrier surface on cooperative tasks instead of threads;
+//! [`clock`] holds the timeout shapes both transports share.
+
 pub mod chaos;
+pub mod clock;
 pub mod codec;
+pub mod det;
 pub mod fabric;
 pub mod stats;
 
@@ -29,6 +37,10 @@ pub use chaos::{ChaosSchedule, CrashPoint};
 pub use codec::{
     decode_rows, decode_rows_with, encode_flat_rows, encode_rows, try_decode_rows,
     try_decode_rows_with, DecodeError,
+};
+pub use det::{
+    fnv1a, EventWheel, FlakyRack, LinkSpec, NetProfile, SimConfig, SimTask, Straggler, TaskCtx,
+    TaskStep, VMessage, VirtualCluster, VirtualStats, Vt,
 };
 pub use fabric::{CommError, Fabric, Message, RetryPolicy, WorkerComm};
 pub use stats::{CommStats, CostModel, StatsSnapshot};

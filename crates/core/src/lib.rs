@@ -56,10 +56,11 @@ pub use flexgraph_tensor as tensor;
 pub mod prelude {
     pub use crate::ft::{train_with_recovery, FtReport};
     pub use flexgraph_comm::{
-        ChaosSchedule, CommError, CostModel, CrashPoint, Fabric, RetryPolicy,
+        ChaosSchedule, CommError, CostModel, CrashPoint, Fabric, NetProfile, RetryPolicy,
     };
     pub use flexgraph_dist::{
-        distributed_epoch, make_shards, DistConfig, DistMode, EpochReport, Shard,
+        distributed_epoch, make_shards, virtual_epoch, DistConfig, DistMode, EpochReport,
+        EpochRuntime, Shard, ThreadedRuntime, VirtualRuntime,
     };
     pub use flexgraph_engine::{
         hierarchical_aggregate, AggrOp, AggrPlan, EngineError, MemoryBudget, StageTimes, Strategy,

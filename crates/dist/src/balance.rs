@@ -200,6 +200,24 @@ pub fn partition_dependency_estimates(hdg: &Hdg, part: &Partitioning, precision:
     merged_dependency_estimates(&root_dependency_sketches(hdg, precision), hdg, part)
 }
 
+/// Per-partition load from an epoch's *measured* trace: the sum of
+/// attributed per-root cost units landing in each part. This is what the
+/// §6 loop balances against when running from telemetry (threaded or
+/// virtual) instead of an analytic proxy; feed the result to
+/// [`Partitioning::imbalance`] for the observed balance factor.
+pub fn measured_partition_loads(
+    trace: &flexgraph_obs::TraceEpoch,
+    part: &Partitioning,
+) -> Vec<f64> {
+    let mut loads = vec![0.0f64; part.k];
+    for (v, &p) in part.assignment.iter().enumerate() {
+        if let Some(units) = trace.root_cost(v as VertexId) {
+            loads[p as usize] += units as f64;
+        }
+    }
+    loads
+}
+
 /// A balancing plan: vertices to move and where.
 #[derive(Clone, Debug)]
 pub struct Plan {

@@ -28,16 +28,19 @@
 pub mod adb;
 pub mod balance;
 pub mod pipeline;
+pub mod runtime;
 pub mod shard;
 pub mod sim;
 pub mod trainer;
 
 pub use adb::AdbController;
 pub use balance::{
-    choose_plan, fit_cost_function, generate_plans, merged_dependency_estimates,
-    partition_dependency_estimates, root_dependency_sketches, CostFn, CostSample,
+    choose_plan, fit_cost_function, generate_plans, measured_partition_loads,
+    merged_dependency_estimates, partition_dependency_estimates, root_dependency_sketches, CostFn,
+    CostSample,
 };
 pub use pipeline::{build_leaf_sync, LeafSync, SlotLevel};
+pub use runtime::{EpochRuntime, ThreadedRuntime, VirtualRuntime};
 pub use shard::{make_shards, Shard};
-pub use sim::{simulated_epoch, SimReport};
+pub use sim::{simulated_epoch, virtual_epoch, SimReport, VirtualEpochReport};
 pub use trainer::{distributed_epoch, DistConfig, DistMode, EpochReport};

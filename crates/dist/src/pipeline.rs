@@ -268,7 +268,12 @@ pub fn leaf_level_pipelined(
 }
 
 /// Encodes per-slot partial sums for peer `p` into one message.
-fn encode_partials(sync: &LeafSync, local_feats: &Tensor, p: usize, d: usize) -> bytes::Bytes {
+pub(crate) fn encode_partials(
+    sync: &LeafSync,
+    local_feats: &Tensor,
+    p: usize,
+    d: usize,
+) -> bytes::Bytes {
     let mut ids: Vec<u32> = Vec::new();
     let mut flat: Vec<f32> = Vec::new();
     for &(slot, row) in &sync.serve[p] {
@@ -288,7 +293,7 @@ fn encode_partials(sync: &LeafSync, local_feats: &Tensor, p: usize, d: usize) ->
 
 /// Encodes the deduplicated raw rows peer `p` depends on, keyed by
 /// global vertex id.
-fn encode_raw_rows(
+pub(crate) fn encode_raw_rows(
     sync: &LeafSync,
     local_feats: &Tensor,
     shard: &Shard,
@@ -310,7 +315,7 @@ fn encode_raw_rows(
 /// Folds a vertex-keyed raw message from `from` into the slot buffer,
 /// resolving slots through the per-owner remote-edge list with a dense
 /// vertex → payload-offset table.
-fn fold_raw_rows(
+pub(crate) fn fold_raw_rows(
     sync: &LeafSync,
     slots: &mut Tensor,
     payload: &bytes::Bytes,

@@ -1,499 +1,901 @@
-//! Discrete-event simulation of distributed epochs.
+//! Virtual-time simulation of distributed epochs.
 //!
 //! The threaded runtime ([`crate::trainer::distributed_epoch`]) executes
-//! workers as real threads and is what correctness tests exercise. For
-//! *timing curves* (Figures 13 and 15) it is only meaningful when every
-//! simulated worker gets its own physical core — on a single-core host,
-//! k threads time-slice one core and no scaling shape can appear in wall
-//! time.
+//! workers as real threads, which caps simulated cluster sizes at the
+//! host's core count and makes every timing curve hostage to the OS
+//! scheduler. This module runs the *same worker algorithms* — literally
+//! the same encode/fold/aggregate helpers — as cooperative state-machine
+//! tasks on the deterministic discrete-event runtime
+//! ([`flexgraph_comm::det`]):
 //!
-//! This module therefore runs each worker's compute *sequentially*,
-//! measuring every phase in isolation (no contention), and composes the
-//! epoch time analytically with the wire-cost model:
+//! * a thousand workers fit on one core, because "waiting" for the
+//!   virtual wire costs no wall time;
+//! * epoch time is *modeled*, composed from per-link latency/bandwidth,
+//!   rack topology, stragglers, and charged compute units — so scaling
+//!   shapes (Figures 13/15) appear even on a single-core host;
+//! * the whole epoch is deterministic: the same seed replays the same
+//!   event sequence byte for byte, at any `FLEXGRAPH_THREADS`;
+//! * fault-free outputs are **bitwise identical** to the threaded
+//!   runtime's, because sends, folds, and upper-level aggregation run in
+//!   exactly the order the threaded workers pin them to.
 //!
-//! * pipelined:   `T_send + max(T_local, arrival) + T_fold + T_upper`
-//! * unpipelined: `max(T_send, arrival) + T_aggregate_all + T_upper`
-//! * mini-batch:  per-round `T_prepare + wire(requests) + T_serve +
-//!   wire(responses) + T_aggregate`, summed (no overlap — the dataflow
-//!   semantics being reproduced)
-//!
-//! where `arrival = max over peers (T_send_peer + wire(bytes))`. The
-//! epoch time is the slowest worker's total. Identical inputs produce
-//! identical aggregation results to the threaded runtime (tests assert
-//! parity).
+//! [`virtual_epoch`] mirrors the threaded trainer's recovery loop: a
+//! scheduled crash fails the attempt, the epoch is re-driven crash-free
+//! on a fresh virtual cluster, and the recovered output is bitwise
+//! identical to a fault-free run. [`simulated_epoch`] keeps the legacy
+//! analytic-sim surface, delegating to the virtual runtime with a
+//! uniform [`NetProfile`] derived from the configured cost model.
 
-use crate::pipeline::{build_leaf_sync, finalize_mean, SlotLevel};
+use crate::pipeline::{build_leaf_sync, encode_partials, encode_raw_rows, fold_raw_rows, LeafSync};
 use crate::shard::Shard;
-use crate::trainer::{DistConfig, DistMode};
-use flexgraph_engine::hybrid::{aggregate_from_groups, aggregate_from_instances, AggrOp, Strategy};
-use flexgraph_engine::MemoryBudget;
+use crate::trainer::{finish_upper_levels, DistConfig, DistMode, EpochReport};
+use flexgraph_comm::det::fnv1a;
+use flexgraph_comm::{
+    decode_rows, decode_rows_with, encode_rows, ChaosSchedule, CommError, NetProfile, SimConfig,
+    SimTask, TaskCtx, TaskStep, VirtualCluster, VirtualStats,
+};
 use flexgraph_graph::bfs::k_hop_closure;
 use flexgraph_graph::{Graph, VertexId};
-use flexgraph_tensor::Tensor;
+use flexgraph_obs::{FabricCounters, PartitionRecord, Stage, TraceEpoch};
+use flexgraph_tensor::scatter::scatter_add;
+use flexgraph_tensor::{scatter_add_gathered_into, Tensor};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// Tag of the leaf-level messages (same as the threaded worker's).
+const LEAF_TAG: u32 = 1;
+/// Tag of the mini-batch round-count agreement exchange.
+const ROUNDS_TAG: u32 = 5;
 
 /// Result of a simulated epoch.
 pub struct SimReport {
-    /// Assembled `(num_vertices, d_out)` per-root results (identical to
-    /// the threaded runtime's output).
+    /// Assembled `(num_vertices, d_out)` per-root results (bitwise
+    /// identical to the threaded runtime's output when fault-free).
     pub features: Tensor,
-    /// Modeled epoch time: slowest worker's compute + modeled wire.
+    /// Virtual epoch duration: the slowest worker's virtual clock.
     pub epoch: Duration,
-    /// Sum of per-worker pure compute (diagnostics).
+    /// Sum of per-worker charged virtual compute (diagnostics).
     pub total_compute: Duration,
-    /// Total bytes that crossed the modeled wire.
+    /// Total bytes that crossed the virtual wire.
     pub comm_bytes: u64,
     /// Total messages.
     pub comm_messages: u64,
+    /// The merged epoch telemetry (stage samples with deterministic
+    /// virtual wall times, per-root costs scaled by straggler factors,
+    /// fabric counters, and the virtual duration) — what
+    /// `AdbController::record_sim_epoch` consumes.
+    pub telemetry: TraceEpoch,
 }
 
-/// Message byte size of `rows` feature rows of width `d` under the
-/// codec framing.
-fn msg_bytes(rows: usize, d: usize) -> usize {
-    8 + rows * (4 + d * 4)
+/// Result of one [`virtual_epoch`]: the threaded-shaped report plus the
+/// virtual-runtime extras (event log, digests, virtual clocks).
+pub struct VirtualEpochReport {
+    /// The epoch's measurements in the threaded report shape; `wall`
+    /// carries the *virtual* epoch duration.
+    pub report: EpochReport,
+    /// Virtual epoch duration (slowest worker's virtual clock).
+    pub virtual_time: Duration,
+    /// Sum of all workers' charged virtual compute.
+    pub total_compute: Duration,
+    /// Concatenated scheduler event logs of every attempt (re-driven
+    /// epochs append; the final attempt's log is the tail).
+    pub event_log: String,
+    /// `(len, fnv1a)` digest of `event_log`, for cheap byte-identity
+    /// comparison across runs.
+    pub log_digest: (u64, u64),
 }
 
-/// Runs a simulated distributed epoch (see module docs).
+/// Runs a simulated distributed epoch on the virtual runtime with a
+/// uniform network derived from `cfg.cost_model` (see module docs).
 pub fn simulated_epoch(graph: &Graph, shards: &[Shard], cfg: &DistConfig) -> SimReport {
-    match cfg.mode {
-        DistMode::FlexGraph { pipeline } => sim_flexgraph(graph, shards, cfg, pipeline),
-        DistMode::EulerLike { batch_size } => sim_minibatch(graph, shards, cfg, batch_size, None),
-        DistMode::DistDglLike { batch_size, hops } => {
-            sim_minibatch(graph, shards, cfg, batch_size, Some(hops))
-        }
-    }
-}
-
-struct WorkerPhases {
-    t_send: Duration,
-    t_local: Duration,
-    bytes_out_per_peer: Vec<usize>,
-    /// Partial rows destined to each peer: `(slot, row)` flat data.
-    partials_out: Vec<(usize, Vec<u32>, Vec<f32>)>,
-    /// Raw rows destined to each peer (unpipelined): vertex ids.
-    raws_out: Vec<(usize, Vec<u32>, Vec<f32>)>,
-    slots_local: Tensor,
-}
-
-fn sim_flexgraph(graph: &Graph, shards: &[Shard], cfg: &DistConfig, pipeline: bool) -> SimReport {
-    let k = shards.len();
-    let n = graph.num_vertices();
-    let syncs = build_leaf_sync(shards);
-    let model = &cfg.cost_model;
-
-    // Phase A+B per worker, sequentially and in isolation.
-    let mut phases: Vec<WorkerPhases> = Vec::with_capacity(k);
-    for (w, shard) in shards.iter().enumerate() {
-        let sync = &syncs[w];
-        let d = shard.feats.cols();
-
-        let t0 = Instant::now();
-        let mut partials_out = Vec::new();
-        let mut raws_out = Vec::new();
-        let mut bytes_out_per_peer = vec![0usize; k];
-        for p in 0..k {
-            if p == w || sync.serve[p].is_empty() {
-                continue;
-            }
-            // The pipelined sender picks the cheaper wire form per peer
-            // (see `LeafSync::partial_to`); the unpipelined baseline
-            // always ships raw rows.
-            if pipeline && sync.partial_to[p] {
-                let mut ids: Vec<u32> = Vec::new();
-                let mut flat: Vec<f32> = Vec::new();
-                for &(slot, row) in &sync.serve[p] {
-                    let src = shard.feats.row(row as usize);
-                    if ids.last() == Some(&slot) {
-                        let base = flat.len() - d;
-                        for (a, &x) in flat[base..].iter_mut().zip(src) {
-                            *a += x;
-                        }
-                    } else {
-                        ids.push(slot);
-                        flat.extend_from_slice(src);
-                    }
-                }
-                bytes_out_per_peer[p] = msg_bytes(ids.len(), d);
-                partials_out.push((p, ids, flat));
-            } else {
-                let mut rows: Vec<u32> = sync.serve[p].iter().map(|&(_, r)| r).collect();
-                rows.sort_unstable();
-                rows.dedup();
-                let mut ids = Vec::with_capacity(rows.len());
-                let mut flat = Vec::with_capacity(rows.len() * d);
-                for r in rows {
-                    ids.push(shard.roots[r as usize]);
-                    flat.extend_from_slice(shard.feats.row(r as usize));
-                }
-                bytes_out_per_peer[p] = msg_bytes(ids.len(), d);
-                raws_out.push((p, ids, flat));
-            }
-        }
-        let t_send = t0.elapsed();
-
-        let t1 = Instant::now();
-        let mut slots_local = Tensor::zeros(sync.num_slots, d);
-        for &(i, row) in &sync.local_edges {
-            let dst = slots_local.row_mut(i as usize);
-            for (o, &x) in dst.iter_mut().zip(shard.feats.row(row as usize)) {
-                *o += x;
-            }
-        }
-        let t_local = t1.elapsed();
-
-        phases.push(WorkerPhases {
-            t_send,
-            t_local,
-            bytes_out_per_peer,
-            partials_out,
-            raws_out,
-            slots_local,
-        });
-    }
-
-    // Phase C per worker: fold incoming data, upper levels, update.
-    let d_out_probe = shards[0].feats.cols();
-    let mut features = Tensor::zeros(n, output_dim(cfg, d_out_probe));
-    let mut per_worker_total = vec![Duration::ZERO; k];
-    let mut comm_bytes = 0u64;
-    let mut comm_messages = 0u64;
-
-    // Arrival time of worker w's inbound data: the last sender finishes
-    // encoding, then the receiver's NIC drains all inbound messages
-    // (inbound traffic serializes on one link).
-    let arrival: Vec<f64> = (0..k)
-        .map(|w| {
-            let mut last_send = 0.0f64;
-            let mut inbound_wire = 0.0f64;
-            for (p, ph) in phases.iter().enumerate() {
-                if p == w {
-                    continue;
-                }
-                let b = ph.bytes_out_per_peer[w];
-                if b > 0 {
-                    last_send = last_send.max(ph.t_send.as_secs_f64());
-                    inbound_wire += model.wire_us(b) / 1e6;
-                }
-            }
-            last_send + inbound_wire
-        })
-        .collect();
-    for ph in &phases {
-        for &b in &ph.bytes_out_per_peer {
-            if b > 0 {
-                comm_bytes += b as u64;
-                comm_messages += 1;
-            }
-        }
-    }
-
-    for w in 0..k {
-        let shard = &shards[w];
-        let sync = &syncs[w];
-
-        // Fold (timed in isolation). A worker may receive both forms —
-        // slot-keyed partials and vertex-keyed raw rows.
-        let t2 = Instant::now();
-        let mut slots = phases[w].slots_local.clone();
-        let d = shard.feats.cols();
-        if pipeline {
-            for (sender, ph) in phases.iter().enumerate() {
-                for (p, ids, flat) in &ph.partials_out {
-                    if *p != w {
-                        continue;
-                    }
-                    for (j, &slot) in ids.iter().enumerate() {
-                        let dst = slots.row_mut(slot as usize);
-                        for (o, &x) in dst.iter_mut().zip(&flat[j * d..(j + 1) * d]) {
-                            *o += x;
-                        }
-                    }
-                }
-                for (p, ids, flat) in &ph.raws_out {
-                    if *p != w {
-                        continue;
-                    }
-                    // Raw rows: dense vertex → offset table, resolved
-                    // through the per-owner remote-edge list.
-                    let mut offset_of = vec![u32::MAX; shard.owner.len()];
-                    for (j, &v) in ids.iter().enumerate() {
-                        offset_of[v as usize] = (j * d) as u32;
-                    }
-                    for &(slot, leaf) in &sync.remote_edges_by_owner[sender] {
-                        let off = offset_of[leaf as usize];
-                        debug_assert_ne!(off, u32::MAX);
-                        let dst = slots.row_mut(slot as usize);
-                        for (o, &x) in dst.iter_mut().zip(&flat[off as usize..off as usize + d]) {
-                            *o += x;
-                        }
-                    }
-                }
-            }
-        } else {
-            // Unpipelined: combine all raw tables first, then aggregate
-            // everything in one pass (dataflow semantics).
-            let mut offset_of = vec![u32::MAX; shard.owner.len()];
-            let mut combined: Vec<f32> = Vec::new();
-            for ph in &phases {
-                for (p, ids, flat) in &ph.raws_out {
-                    if *p != w {
-                        continue;
-                    }
-                    for (j, &v) in ids.iter().enumerate() {
-                        offset_of[v as usize] = (combined.len() + j * d) as u32;
-                    }
-                    combined.extend_from_slice(flat);
-                }
-            }
-            for &(slot, leaf) in &sync.remote_edges {
-                let off = offset_of[leaf as usize];
-                debug_assert_ne!(off, u32::MAX, "peer shipped every depended-on row");
-                let dst = slots.row_mut(slot as usize);
-                for (o, &x) in dst
-                    .iter_mut()
-                    .zip(&combined[off as usize..off as usize + d])
-                {
-                    *o += x;
-                }
-            }
-        }
-        let t_fold = t2.elapsed();
-
-        let t3 = Instant::now();
-        if cfg.leaf_op == AggrOp::Mean {
-            finalize_mean(&mut slots, &sync.slot_counts);
-        }
-        let upper = match sync.level {
-            SlotLevel::Instances => aggregate_from_instances(
-                &shard.hdg,
-                &slots,
-                &cfg.plan,
-                cfg.strategy,
-                &MemoryBudget::unlimited(),
-            ),
-            SlotLevel::Groups => aggregate_from_groups(
-                &shard.hdg,
-                slots,
-                &cfg.plan,
-                cfg.strategy,
-                &MemoryBudget::unlimited(),
-            ),
-        }
-        .expect("unbudgeted aggregation cannot fail");
-        let out = match &cfg.update_weight {
-            Some(wt) => {
-                let mut out = upper.features.matmul(wt);
-                out.relu_inplace();
-                out
-            }
-            None => upper.features,
-        };
-        let t_upper = t3.elapsed();
-
-        for (i, &v) in shard.roots.iter().enumerate() {
-            features.row_mut(v as usize).copy_from_slice(out.row(i));
-        }
-
-        let ph = &phases[w];
-        let total = if pipeline {
-            // All pre-fold CPU work (encode + local aggregation) overlaps
-            // with the in-flight messages; the fold starts when both are
-            // done.
-            let cpu = ph.t_send.as_secs_f64() + ph.t_local.as_secs_f64();
-            Duration::from_secs_f64(cpu.max(arrival[w])) + t_fold + t_upper
-        } else {
-            // Dataflow: send, wait for everything, then aggregate.
-            Duration::from_secs_f64(ph.t_send.as_secs_f64().max(arrival[w]))
-                + ph.t_local
-                + t_fold
-                + t_upper
-        };
-        per_worker_total[w] = total;
-    }
-
-    let epoch = per_worker_total.iter().copied().max().unwrap_or_default();
-    let total_compute = per_worker_total.iter().sum();
+    let net = NetProfile::from_cost_model(&cfg.cost_model);
+    let v = virtual_epoch(graph, shards, cfg, &net);
     SimReport {
-        features,
-        epoch,
-        total_compute,
-        comm_bytes,
-        comm_messages,
+        features: v.report.features,
+        epoch: v.virtual_time,
+        total_compute: v.total_compute,
+        comm_bytes: v.report.comm_bytes,
+        comm_messages: v.report.comm_messages,
+        telemetry: v.report.telemetry,
     }
 }
 
-fn output_dim(cfg: &DistConfig, d: usize) -> usize {
-    cfg.update_weight.as_ref().map_or(d, Tensor::cols)
-}
-
-/// Mini-batch simulation: per-round request/response fetches, fully
-/// sequential (their dataflow has no overlap). `hops = None` fetches the
-/// leaf dependencies of the batch; `hops = Some(h)` the full h-hop
-/// closure.
-fn sim_minibatch(
+/// Runs one distributed epoch on the deterministic virtual runtime.
+///
+/// Mirrors the threaded trainer end to end: entry barrier, the mode's
+/// worker algorithm (reusing the exact pipeline helpers, so fault-free
+/// outputs are bitwise identical), per-root cost attribution (scaled by
+/// straggler compute factors so measured-cost balancing sees injected
+/// skew), telemetry merge in rank order, and the crash-recovery re-drive
+/// loop with accumulated fault counters.
+///
+/// # Panics
+///
+/// Panics when the epoch still fails after `cfg.max_recoveries`
+/// re-drives.
+pub fn virtual_epoch(
     graph: &Graph,
     shards: &[Shard],
     cfg: &DistConfig,
-    batch_size: usize,
-    hops: Option<usize>,
-) -> SimReport {
+    net: &NetProfile,
+) -> VirtualEpochReport {
     let k = shards.len();
     let n = graph.num_vertices();
     let syncs = build_leaf_sync(shards);
-    let model = &cfg.cost_model;
-    let d = shards[0].feats.cols();
+    let epoch_id = flexgraph_obs::next_epoch();
 
-    let mut features = Tensor::zeros(n, output_dim(cfg, d));
-    let mut per_worker_total = vec![Duration::ZERO; k];
-    // Per-worker serving load (they answer peers' fetches too).
-    let mut serve_time = vec![Duration::ZERO; k];
-    let mut comm_bytes = 0u64;
-    let mut comm_messages = 0u64;
+    let mut recoveries = 0u32;
+    let mut acc = VirtualStats::default();
+    let mut event_log = String::new();
 
-    for (w, shard) in shards.iter().enumerate() {
-        let sync = &syncs[w];
-        let n_roots = shard.roots.len();
-        let rounds = n_roots.div_ceil(batch_size.max(1));
-        let mut slots = Tensor::zeros(sync.num_slots, d);
-
-        let t0 = Instant::now();
-        for &(i, row) in &sync.local_edges {
-            let dst = slots.row_mut(i as usize);
-            for (o, &x) in dst.iter_mut().zip(shard.feats.row(row as usize)) {
-                *o += x;
-            }
-        }
-        let mut total = t0.elapsed();
-
-        for round in 0..rounds {
-            let lo_root = round * batch_size;
-            let hi_root = ((round + 1) * batch_size).min(n_roots);
-
-            let t1 = Instant::now();
-            let mut needed: Vec<VertexId> = match hops {
-                None => {
-                    let lo_s = sync.root_slot_off[lo_root];
-                    let hi_s = sync.root_slot_off[hi_root];
-                    sync.remote_edges
-                        .iter()
-                        .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
-                        .map(|&(_, v)| v)
-                        .collect()
-                }
-                Some(h) => {
-                    let batch: Vec<VertexId> = shard.roots[lo_root..hi_root].to_vec();
-                    k_hop_closure(graph, &batch, h)
-                        .into_iter()
-                        .filter(|&v| shard.owner[v as usize] as usize != w)
-                        .collect()
-                }
-            };
-            needed.sort_unstable();
-            needed.dedup();
-            let t_prepare = t1.elapsed();
-
-            // Fetch: request ids out, feature rows back, no overlap.
-            let mut by_owner: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-            for v in &needed {
-                by_owner[shard.owner[*v as usize] as usize].push(*v);
-            }
-            let mut wire = 0.0f64;
-            let t2 = Instant::now();
-            let mut responses: HashMap<u32, usize> = HashMap::with_capacity(needed.len());
-            let mut resp_flat: Vec<f32> = Vec::with_capacity(needed.len() * d);
-            for (p, ids) in by_owner.iter().enumerate() {
-                if p == w || ids.is_empty() {
-                    continue;
-                }
-                let req_b = msg_bytes(ids.len(), 0);
-                let resp_b = msg_bytes(ids.len(), d);
-                comm_bytes += (req_b + resp_b) as u64;
-                comm_messages += 2;
-                // Round trip: request wire + response wire (not
-                // overlapped across owners in the baseline dataflow).
-                wire = wire.max(model.wire_us(req_b) / 1e6 + model.wire_us(resp_b) / 1e6);
-                // Owner-side serving work (gather rows) — attributed to
-                // the owner's clock.
-                let ts = Instant::now();
-                for &v in ids {
-                    let r = shards[p].row_of(v);
-                    responses.insert(v, resp_flat.len());
-                    resp_flat.extend_from_slice(shards[p].feats.row(r as usize));
-                }
-                serve_time[p] += ts.elapsed();
-            }
-            let t_fetch_cpu = t2.elapsed();
-
-            // Aggregate the batch's remote edges (materializing sparse).
-            let t3 = Instant::now();
-            let lo_s = sync.root_slot_off[lo_root];
-            let hi_s = sync.root_slot_off[hi_root];
-            for &(i, leaf) in sync
-                .remote_edges
-                .iter()
-                .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
-            {
-                if let Some(&off) = responses.get(&leaf) {
-                    let dst = slots.row_mut(i as usize);
-                    for (o, &x) in dst.iter_mut().zip(&resp_flat[off..off + d]) {
-                        *o += x;
-                    }
-                }
-            }
-            let t_agg = t3.elapsed();
-
-            total += t_prepare + t_fetch_cpu + Duration::from_secs_f64(wire) + t_agg;
-        }
-
-        let t4 = Instant::now();
-        if cfg.leaf_op == AggrOp::Mean {
-            finalize_mean(&mut slots, &sync.slot_counts);
-        }
-        let upper = match sync.level {
-            SlotLevel::Instances => aggregate_from_instances(
-                &shard.hdg,
-                &slots,
-                &cfg.plan,
-                Strategy::Sa,
-                &MemoryBudget::unlimited(),
-            ),
-            SlotLevel::Groups => aggregate_from_groups(
-                &shard.hdg,
-                slots,
-                &cfg.plan,
-                Strategy::Sa,
-                &MemoryBudget::unlimited(),
-            ),
-        }
-        .expect("unbudgeted aggregation cannot fail");
-        let out = match &cfg.update_weight {
-            Some(wt) => {
-                let mut out = upper.features.matmul(wt);
-                out.relu_inplace();
-                out
-            }
-            None => upper.features,
+    loop {
+        // The crash is a one-shot fault: re-driven epochs keep the
+        // message-level chaos but the worker stays up (same policy as
+        // the threaded trainer).
+        let chaos = match cfg.chaos {
+            Some(c) if recoveries == 0 => c,
+            Some(c) => c.without_crash(),
+            None => ChaosSchedule::default(),
         };
-        total += t4.elapsed();
+        let sim_cfg = SimConfig {
+            net: net.clone(),
+            retry: cfg.retry,
+            chaos,
+        };
+        let mut cluster = VirtualCluster::new(k, sim_cfg);
+        let mut tasks: Vec<EpochTask> = (0..k)
+            .map(|r| EpochTask::new(&shards[r], &syncs[r], cfg, epoch_id))
+            .collect();
+        cluster.run(&mut tasks);
 
-        for (i, &v) in shard.roots.iter().enumerate() {
-            features.row_mut(v as usize).copy_from_slice(out.row(i));
+        let s = *cluster.stats();
+        acc.messages += s.messages;
+        acc.bytes += s.bytes;
+        acc.modeled_ns += s.modeled_ns;
+        acc.retries += s.retries;
+        acc.drops_injected += s.drops_injected;
+        acc.dups_injected += s.dups_injected;
+        acc.redeliveries += s.redeliveries;
+        event_log.push_str(&cluster.take_log());
+
+        let failures: Vec<(usize, CommError)> = tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, t)| t.result().as_ref().err().map(|e| (r, e.clone())))
+            .collect();
+        if !failures.is_empty() {
+            recoveries += 1;
+            assert!(
+                recoveries <= cfg.max_recoveries,
+                "epoch unrecoverable after {} re-drives: {failures:?}",
+                recoveries - 1
+            );
+            continue;
         }
-        per_worker_total[w] = total;
+
+        let virtual_time = Duration::from_nanos(cluster.epoch_vt());
+        let total_compute = Duration::from_nanos(cluster.total_compute_ns());
+        let d_out = tasks[0].result().as_ref().expect("no failures").cols();
+        let mut features = Tensor::zeros(n, d_out);
+        let mut telemetry = TraceEpoch::new(epoch_id);
+        for (rank, task) in tasks.into_iter().enumerate() {
+            let (out, rec) = task.into_parts();
+            let out = out.expect("no failures");
+            for (i, &v) in shards[rank].roots.iter().enumerate() {
+                features.row_mut(v as usize).copy_from_slice(out.row(i));
+            }
+            telemetry.absorb(rec);
+        }
+        // Traffic of the successful attempt is deterministic; the
+        // fault-path counters carry the totals across all attempts.
+        telemetry.fabric = FabricCounters {
+            bytes: s.bytes,
+            messages: s.messages,
+            retries: acc.retries,
+            drops_injected: acc.drops_injected,
+            redeliveries: acc.redeliveries,
+        };
+        telemetry.virtual_ns = cluster.epoch_vt();
+        flexgraph_obs::emit_epoch(&telemetry);
+
+        let log_digest = (event_log.len() as u64, fnv1a(event_log.as_bytes()));
+        let report = EpochReport {
+            features,
+            wall: virtual_time,
+            comm_bytes: acc.bytes,
+            comm_messages: acc.messages,
+            modeled_comm_us: acc.modeled_ns as f64 / 1_000.0,
+            retries: acc.retries,
+            drops_injected: acc.drops_injected,
+            redeliveries: acc.redeliveries,
+            recoveries,
+            telemetry,
+        };
+        return VirtualEpochReport {
+            report,
+            virtual_time,
+            total_compute,
+            event_log,
+            log_digest,
+        };
+    }
+}
+
+/// Adds one stage sample (`invocations += 1`) with deterministic virtual
+/// wall nanoseconds.
+fn record_stage(rec: &mut PartitionRecord, stage: Stage, work: u64, wall_ns: u64) {
+    let s = rec.stage_mut(stage);
+    s.invocations += 1;
+    s.work += work;
+    s.wall_ns += wall_ns;
+}
+
+/// Virtual analogue of the trainer's root-cost attribution, written
+/// straight into the task's record (the thread-local probe is inactive
+/// inside the scheduler) and scaled by the straggler compute factor so
+/// measured-cost balancing sees injected skew.
+fn attribute_root_costs_scaled(
+    shard: &Shard,
+    sync: &LeafSync,
+    factor: f64,
+    rec: &mut PartitionRecord,
+) {
+    let d = shard.feats.cols() as u64;
+    let t = shard.hdg.num_types() as u64;
+    for r in 0..shard.hdg.num_roots() {
+        let lo = sync.root_slot_off[r];
+        let hi = sync.root_slot_off[r + 1];
+        let leaf_entries: u64 = sync.slot_counts[lo..hi].iter().map(|&c| c as u64).sum();
+        let instances = shard.hdg.instances_of_root(r) as u64;
+        let units = 5 + (leaf_entries + instances + t) * d;
+        rec.add_root_cost(shard.roots[r], (units as f64 * factor) as u64);
+    }
+}
+
+/// One worker task of either execution mode.
+#[allow(clippy::large_enum_variant)]
+enum EpochTask<'a> {
+    Flex(FlexTask<'a>),
+    Mini(MiniTask<'a>),
+}
+
+impl<'a> EpochTask<'a> {
+    fn new(shard: &'a Shard, sync: &'a LeafSync, cfg: &'a DistConfig, epoch_id: u64) -> Self {
+        match cfg.mode {
+            DistMode::FlexGraph { pipeline } => {
+                Self::Flex(FlexTask::new(shard, sync, cfg, pipeline, epoch_id))
+            }
+            DistMode::EulerLike { batch_size } => {
+                Self::Mini(MiniTask::new(shard, sync, cfg, batch_size, None, epoch_id))
+            }
+            DistMode::DistDglLike { batch_size, hops } => Self::Mini(MiniTask::new(
+                shard,
+                sync,
+                cfg,
+                batch_size,
+                Some(hops),
+                epoch_id,
+            )),
+        }
     }
 
-    for (t, s) in per_worker_total.iter_mut().zip(&serve_time) {
-        *t += *s;
+    /// The finished task's outcome (valid after `VirtualCluster::run`).
+    fn result(&self) -> &Result<Tensor, CommError> {
+        match self {
+            Self::Flex(t) => t.out.as_ref().expect("task finished"),
+            Self::Mini(t) => t.out.as_ref().expect("task finished"),
+        }
     }
-    let epoch = per_worker_total.iter().copied().max().unwrap_or_default();
-    let total_compute = per_worker_total.iter().sum();
-    SimReport {
-        features,
-        epoch,
-        total_compute,
-        comm_bytes,
-        comm_messages,
+
+    fn into_parts(self) -> (Result<Tensor, CommError>, PartitionRecord) {
+        match self {
+            Self::Flex(t) => (t.out.expect("task finished"), t.rec),
+            Self::Mini(t) => (t.out.expect("task finished"), t.rec),
+        }
+    }
+}
+
+impl SimTask for EpochTask<'_> {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskStep {
+        match self {
+            Self::Flex(t) => t.step(ctx),
+            Self::Mini(t) => t.step(ctx),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FlexState {
+    Entry,
+    Send,
+    Fold { p: usize },
+    Finish,
+}
+
+/// The FlexGraph worker as a cooperative state machine: the exact
+/// send/fold sequence of `leaf_level_pipelined` / `leaf_level_unpipelined`
+/// (same helpers, same rank order — bitwise-identical outputs), with
+/// compute charged in the stages' deterministic work units.
+struct FlexTask<'a> {
+    shard: &'a Shard,
+    sync: &'a LeafSync,
+    cfg: &'a DistConfig,
+    pipeline: bool,
+    state: FlexState,
+    slots: Option<Tensor>,
+    /// Unpipelined receive table: dense vertex → payload offset.
+    remote_off: Vec<u32>,
+    remote_flat: Vec<f32>,
+    fold_entries: u64,
+    fold_ns: u64,
+    rec: PartitionRecord,
+    out: Option<Result<Tensor, CommError>>,
+}
+
+impl<'a> FlexTask<'a> {
+    fn new(
+        shard: &'a Shard,
+        sync: &'a LeafSync,
+        cfg: &'a DistConfig,
+        pipeline: bool,
+        epoch_id: u64,
+    ) -> Self {
+        let mut rec = PartitionRecord::new(epoch_id, shard.rank as u32);
+        rec.pipelined = pipeline;
+        Self {
+            shard,
+            sync,
+            cfg,
+            pipeline,
+            state: FlexState::Entry,
+            slots: None,
+            remote_off: Vec::new(),
+            remote_flat: Vec::new(),
+            fold_entries: 0,
+            fold_ns: 0,
+            rec,
+            out: None,
+        }
+    }
+
+    fn fail(&mut self, e: CommError) -> TaskStep {
+        self.out = Some(Err(e));
+        TaskStep::Done
+    }
+}
+
+impl SimTask for FlexTask<'_> {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskStep {
+        // A latched peer failure aborts the attempt wherever the task
+        // was parked (the wake after a latch fires only once — never
+        // re-park past this point).
+        if let Some(e) = ctx.failed() {
+            if self.out.is_none() {
+                self.out = Some(Err(e));
+            }
+            return TaskStep::Done;
+        }
+        let k = ctx.num_workers();
+        let me = ctx.rank();
+        let d = self.shard.feats.cols();
+        loop {
+            match self.state {
+                FlexState::Entry => {
+                    self.state = FlexState::Send;
+                    return TaskStep::Barrier;
+                }
+                FlexState::Send => {
+                    let mut sent_bytes = 0u64;
+                    let mut send_ns = 0u64;
+                    for p in 0..k {
+                        if p == me {
+                            continue;
+                        }
+                        // The pipelined sender picks the cheaper wire
+                        // form per peer; the unpipelined baseline always
+                        // ships raw rows.
+                        let partial = self.pipeline && self.sync.partial_to[p];
+                        let payload = if partial {
+                            encode_partials(self.sync, &self.shard.feats, p, d)
+                        } else {
+                            encode_raw_rows(self.sync, &self.shard.feats, self.shard, p, d)
+                        };
+                        let len = payload.len() as u64;
+                        sent_bytes += len;
+                        send_ns += ctx.charge(len);
+                        self.rec.comm.messages += 1;
+                        self.rec.comm.bytes += len;
+                        if partial {
+                            self.rec.comm.partial_msgs += 1;
+                        } else {
+                            self.rec.comm.raw_msgs += 1;
+                        }
+                        if let Err(e) = ctx.send(p, LEAF_TAG, payload) {
+                            return self.fail(e);
+                        }
+                    }
+                    record_stage(&mut self.rec, Stage::LeafSend, sent_bytes, send_ns);
+                    if self.pipeline {
+                        // Local planned fold overlaps the in-flight
+                        // partials — charged before any receive parks.
+                        let mut slots = Tensor::zeros(self.sync.num_slots, d);
+                        scatter_add_gathered_into(
+                            &mut slots,
+                            &self.shard.feats,
+                            &self.sync.local_rows,
+                            &self.sync.local_plan,
+                        );
+                        let work = self.sync.local_rows.len() as u64 * d as u64;
+                        let ns = ctx.charge(work);
+                        record_stage(&mut self.rec, Stage::LeafLocal, work, ns);
+                        self.slots = Some(slots);
+                    } else {
+                        self.remote_off = vec![u32::MAX; self.shard.owner.len()];
+                    }
+                    self.state = FlexState::Fold { p: 0 };
+                }
+                FlexState::Fold { p } if p >= k => {
+                    if self.pipeline {
+                        record_stage(
+                            &mut self.rec,
+                            Stage::LeafFold,
+                            self.fold_entries * d as u64,
+                            self.fold_ns,
+                        );
+                    } else {
+                        // Dataflow semantics: aggregate only after every
+                        // remote row has arrived.
+                        let mut slots = Tensor::zeros(self.sync.num_slots, d);
+                        scatter_add_gathered_into(
+                            &mut slots,
+                            &self.shard.feats,
+                            &self.sync.local_rows,
+                            &self.sync.local_plan,
+                        );
+                        let lwork = self.sync.local_rows.len() as u64 * d as u64;
+                        let lns = ctx.charge(lwork);
+                        record_stage(&mut self.rec, Stage::LeafLocal, lwork, lns);
+                        for &(i, leaf) in &self.sync.remote_edges {
+                            let off = self.remote_off[leaf as usize];
+                            debug_assert_ne!(off, u32::MAX, "peer shipped every depended-on row");
+                            let dst = slots.row_mut(i as usize);
+                            let src = &self.remote_flat[off as usize..off as usize + d];
+                            for (o, &x) in dst.iter_mut().zip(src) {
+                                *o += x;
+                            }
+                        }
+                        let fwork = self.sync.remote_edges.len() as u64 * d as u64;
+                        let fns = ctx.charge(fwork);
+                        record_stage(&mut self.rec, Stage::LeafFold, fwork, fns);
+                        self.slots = Some(slots);
+                    }
+                    self.state = FlexState::Finish;
+                }
+                FlexState::Fold { p } if p == me => {
+                    self.state = FlexState::Fold { p: p + 1 };
+                }
+                FlexState::Fold { p } => {
+                    let Some(msg) = ctx.try_recv(p, LEAF_TAG) else {
+                        return TaskStep::Recv {
+                            from: p,
+                            tag: LEAF_TAG,
+                        };
+                    };
+                    if self.pipeline {
+                        // Fold in rank order — the same pinned order the
+                        // threaded worker uses for bitwise determinism.
+                        let slots = self.slots.as_mut().expect("local fold done");
+                        if self.sync.partial_from[p] {
+                            let mut rows = 0u64;
+                            let dim = decode_rows_with(&msg.payload, |i, row| {
+                                rows += 1;
+                                let dst = slots.row_mut(i as usize);
+                                for (o, &x) in dst.iter_mut().zip(row) {
+                                    *o += x;
+                                }
+                            });
+                            debug_assert_eq!(dim, d);
+                            self.fold_entries += rows;
+                            self.fold_ns += ctx.charge(rows * d as u64);
+                        } else {
+                            fold_raw_rows(
+                                self.sync,
+                                slots,
+                                &msg.payload,
+                                p,
+                                d,
+                                self.shard.owner.len(),
+                            );
+                            let entries = self.sync.remote_edges_by_owner[p].len() as u64;
+                            self.fold_entries += entries;
+                            self.fold_ns += ctx.charge(entries * d as u64);
+                        }
+                    } else {
+                        // Table fill only; the fold happens after the
+                        // last arrival (and its order follows
+                        // `remote_edges`, so receive order is moot).
+                        let dim = decode_rows_with(&msg.payload, |v, row| {
+                            self.remote_off[v as usize] = self.remote_flat.len() as u32;
+                            self.remote_flat.extend_from_slice(row);
+                        });
+                        debug_assert_eq!(dim, d);
+                    }
+                    self.state = FlexState::Fold { p: p + 1 };
+                }
+                FlexState::Finish => {
+                    let slots = self.slots.take().expect("leaf level complete");
+                    let upper_work = (self.sync.num_slots
+                        + self.shard.hdg.num_instances()
+                        + self.shard.hdg.num_roots()) as u64
+                        * d as u64;
+                    let out = finish_upper_levels(
+                        self.shard,
+                        self.sync,
+                        slots,
+                        self.cfg.leaf_op,
+                        &self.cfg.plan,
+                        self.cfg.strategy,
+                    );
+                    let ns = ctx.charge(upper_work);
+                    record_stage(&mut self.rec, Stage::Upper, upper_work, ns);
+                    let out = match &self.cfg.update_weight {
+                        Some(w) => {
+                            let work = out.rows() as u64 * out.cols() as u64 * w.cols() as u64;
+                            let mut o = out.matmul(w);
+                            o.relu_inplace();
+                            let ns = ctx.charge(work);
+                            record_stage(&mut self.rec, Stage::Update, work, ns);
+                            o
+                        }
+                        None => out,
+                    };
+                    attribute_root_costs_scaled(
+                        self.shard,
+                        self.sync,
+                        ctx.compute_factor(),
+                        &mut self.rec,
+                    );
+                    self.out = Some(Ok(out));
+                    return TaskStep::Done;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MiniState {
+    Entry,
+    SyncSend,
+    SyncRecv { p: usize },
+    RoundStart { round: usize },
+    ServeRecv { round: usize, p: usize },
+    RespRecv { round: usize, p: usize },
+    Finish,
+}
+
+/// The mini-batch worker (Euler-like / DistDGL-like) as a cooperative
+/// state machine: round-count agreement, then per-round request → serve
+/// → response → aggregate, mirroring `minibatch_worker_epoch` exactly.
+/// Receives are rank-ordered where the threaded worker accepts any
+/// source — safe, because serving is per-request and the response table
+/// is keyed by vertex, so arrival order never reaches the arithmetic.
+struct MiniTask<'a> {
+    shard: &'a Shard,
+    sync: &'a LeafSync,
+    cfg: &'a DistConfig,
+    batch_size: usize,
+    hops: Option<usize>,
+    state: MiniState,
+    rounds: usize,
+    slots: Option<Tensor>,
+    responses: HashMap<u32, Vec<f32>>,
+    served_bytes: u64,
+    serve_ns: u64,
+    rec: PartitionRecord,
+    out: Option<Result<Tensor, CommError>>,
+}
+
+impl<'a> MiniTask<'a> {
+    fn new(
+        shard: &'a Shard,
+        sync: &'a LeafSync,
+        cfg: &'a DistConfig,
+        batch_size: usize,
+        hops: Option<usize>,
+        epoch_id: u64,
+    ) -> Self {
+        Self {
+            shard,
+            sync,
+            cfg,
+            batch_size,
+            hops,
+            state: MiniState::Entry,
+            rounds: 0,
+            slots: None,
+            responses: HashMap::new(),
+            served_bytes: 0,
+            serve_ns: 0,
+            rec: PartitionRecord::new(epoch_id, shard.rank as u32),
+            out: None,
+        }
+    }
+
+    fn fail(&mut self, e: CommError) -> TaskStep {
+        self.out = Some(Err(e));
+        TaskStep::Done
+    }
+
+    /// Slot range of one batch's roots.
+    fn batch_slots(&self, round: usize) -> (usize, usize, usize, usize) {
+        let n_roots = self.shard.roots.len();
+        let lo_root = round * self.batch_size;
+        let hi_root = ((round + 1) * self.batch_size).min(n_roots);
+        if lo_root >= hi_root {
+            return (lo_root, lo_root, 0, 0);
+        }
+        (
+            lo_root,
+            hi_root,
+            self.sync.root_slot_off[lo_root],
+            self.sync.root_slot_off[hi_root],
+        )
+    }
+}
+
+impl SimTask for MiniTask<'_> {
+    fn step(&mut self, ctx: &mut TaskCtx<'_>) -> TaskStep {
+        if let Some(e) = ctx.failed() {
+            if self.out.is_none() {
+                self.out = Some(Err(e));
+            }
+            return TaskStep::Done;
+        }
+        let k = ctx.num_workers();
+        let me = ctx.rank();
+        let d = self.shard.feats.cols();
+        let n_roots = self.shard.roots.len();
+        loop {
+            match self.state {
+                MiniState::Entry => {
+                    self.state = MiniState::SyncSend;
+                    return TaskStep::Barrier;
+                }
+                MiniState::SyncSend => {
+                    // All workers must run the same number of rounds.
+                    self.rounds = n_roots.div_ceil(self.batch_size.max(1));
+                    let payload = encode_rows(0, &[(self.rounds as u32, [].as_slice())]);
+                    for p in 0..k {
+                        if p == me {
+                            continue;
+                        }
+                        if let Err(e) = ctx.send(p, ROUNDS_TAG, payload.clone()) {
+                            return self.fail(e);
+                        }
+                    }
+                    self.state = MiniState::SyncRecv { p: 0 };
+                }
+                MiniState::SyncRecv { p } if p >= k => {
+                    // Local leaf edges need no fetch: aggregate up front,
+                    // serially (mirroring the threaded worker, which
+                    // keeps outputs bitwise comparable).
+                    let mut slots = Tensor::zeros(self.sync.num_slots, d);
+                    for &(i, row) in &self.sync.local_edges {
+                        let dst = slots.row_mut(i as usize);
+                        for (o, &x) in dst.iter_mut().zip(self.shard.feats.row(row as usize)) {
+                            *o += x;
+                        }
+                    }
+                    let work = self.sync.local_edges.len() as u64 * d as u64;
+                    let ns = ctx.charge(work);
+                    record_stage(&mut self.rec, Stage::LeafLocal, work, ns);
+                    self.slots = Some(slots);
+                    self.state = MiniState::RoundStart { round: 0 };
+                }
+                MiniState::SyncRecv { p } if p == me => {
+                    self.state = MiniState::SyncRecv { p: p + 1 };
+                }
+                MiniState::SyncRecv { p } => {
+                    let Some(msg) = ctx.try_recv(p, ROUNDS_TAG) else {
+                        return TaskStep::Recv {
+                            from: p,
+                            tag: ROUNDS_TAG,
+                        };
+                    };
+                    let (_, rows) = decode_rows(msg.payload);
+                    self.rounds = self.rounds.max(rows[0].0 as usize);
+                    self.state = MiniState::SyncRecv { p: p + 1 };
+                }
+                MiniState::RoundStart { round } if round >= self.rounds => {
+                    self.state = MiniState::Finish;
+                }
+                MiniState::RoundStart { round } => {
+                    self.responses.clear();
+                    let (lo_root, hi_root, lo_s, hi_s) = self.batch_slots(round);
+                    let mut needed: Vec<VertexId> = if lo_root < hi_root {
+                        match self.hops {
+                            None => self
+                                .sync
+                                .remote_edges
+                                .iter()
+                                .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+                                .map(|&(_, v)| v)
+                                .collect(),
+                            Some(h) => {
+                                let batch: Vec<VertexId> =
+                                    self.shard.roots[lo_root..hi_root].to_vec();
+                                let graph = self.shard.graph.as_deref().expect(
+                                    "DistDGL-like mode needs shards built with a graph reference",
+                                );
+                                k_hop_closure(graph, &batch, h)
+                                    .into_iter()
+                                    .filter(|&v| self.shard.owner[v as usize] as usize != me)
+                                    .collect()
+                            }
+                        }
+                    } else {
+                        Vec::new()
+                    };
+                    needed.sort_unstable();
+                    needed.dedup();
+                    ctx.charge((hi_root - lo_root) as u64 + needed.len() as u64);
+
+                    let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); k];
+                    for v in needed {
+                        by_owner[self.shard.owner[v as usize] as usize].push(v);
+                    }
+                    let req_tag = 10 + round as u32 * 2;
+                    for (p, ids) in by_owner.iter().enumerate() {
+                        if p == me {
+                            continue;
+                        }
+                        let rows: Vec<(u32, &[f32])> =
+                            ids.iter().map(|&v| (v, [].as_slice())).collect();
+                        let payload = encode_rows(0, &rows);
+                        self.rec.comm.messages += 1;
+                        self.rec.comm.bytes += payload.len() as u64;
+                        self.rec.comm.raw_msgs += 1;
+                        if let Err(e) = ctx.send(p, req_tag, payload) {
+                            return self.fail(e);
+                        }
+                    }
+                    self.state = MiniState::ServeRecv { round, p: 0 };
+                }
+                MiniState::ServeRecv { round, p } if p >= k => {
+                    record_stage(
+                        &mut self.rec,
+                        Stage::Serve,
+                        self.served_bytes,
+                        self.serve_ns,
+                    );
+                    self.served_bytes = 0;
+                    self.serve_ns = 0;
+                    self.state = MiniState::RespRecv { round, p: 0 };
+                }
+                MiniState::ServeRecv { round, p } if p == me => {
+                    self.state = MiniState::ServeRecv { round, p: p + 1 };
+                }
+                MiniState::ServeRecv { round, p } => {
+                    let req_tag = 10 + round as u32 * 2;
+                    let Some(msg) = ctx.try_recv(p, req_tag) else {
+                        return TaskStep::Recv {
+                            from: p,
+                            tag: req_tag,
+                        };
+                    };
+                    let (_, ids) = decode_rows(msg.payload);
+                    let rows: Vec<(u32, Vec<f32>)> = ids
+                        .into_iter()
+                        .map(|(v, _)| {
+                            let r = self.shard.row_of(v);
+                            (v, self.shard.feats.row(r as usize).to_vec())
+                        })
+                        .collect();
+                    let refs: Vec<(u32, &[f32])> =
+                        rows.iter().map(|(v, r)| (*v, r.as_slice())).collect();
+                    let payload = encode_rows(d, &refs);
+                    let len = payload.len() as u64;
+                    self.served_bytes += len;
+                    self.serve_ns += ctx.charge(len);
+                    self.rec.comm.messages += 1;
+                    self.rec.comm.bytes += len;
+                    self.rec.comm.raw_msgs += 1;
+                    if let Err(e) = ctx.send(p, req_tag + 1, payload) {
+                        return self.fail(e);
+                    }
+                    self.state = MiniState::ServeRecv { round, p: p + 1 };
+                }
+                MiniState::RespRecv { round, p } if p >= k => {
+                    // Sparse (materializing) aggregation of the batch's
+                    // remote edges — the baseline execution shape.
+                    let (lo_root, hi_root, lo_s, hi_s) = self.batch_slots(round);
+                    if lo_root < hi_root {
+                        let edges: Vec<(u32, VertexId)> = self
+                            .sync
+                            .remote_edges
+                            .iter()
+                            .filter(|&&(i, _)| (i as usize) >= lo_s && (i as usize) < hi_s)
+                            .copied()
+                            .collect();
+                        if !edges.is_empty() {
+                            let mut messages = Tensor::zeros(edges.len(), d);
+                            let mut dst = Vec::with_capacity(edges.len());
+                            for (e, &(i, v)) in edges.iter().enumerate() {
+                                let row = self
+                                    .responses
+                                    .get(&v)
+                                    .expect("closure fetch covers every leaf dependency");
+                                messages.row_mut(e).copy_from_slice(row);
+                                dst.push(i);
+                            }
+                            let partial = scatter_add(&messages, &dst, self.sync.num_slots);
+                            self.slots
+                                .as_mut()
+                                .expect("slots ready")
+                                .add_assign(&partial);
+                            ctx.charge(edges.len() as u64 * d as u64);
+                        }
+                    }
+                    self.state = MiniState::RoundStart { round: round + 1 };
+                }
+                MiniState::RespRecv { round, p } if p == me => {
+                    self.state = MiniState::RespRecv { round, p: p + 1 };
+                }
+                MiniState::RespRecv { round, p } => {
+                    let resp_tag = 10 + round as u32 * 2 + 1;
+                    let Some(msg) = ctx.try_recv(p, resp_tag) else {
+                        return TaskStep::Recv {
+                            from: p,
+                            tag: resp_tag,
+                        };
+                    };
+                    let (_, rows) = decode_rows(msg.payload);
+                    for (v, row) in rows {
+                        self.responses.insert(v, row);
+                    }
+                    self.state = MiniState::RespRecv { round, p: p + 1 };
+                }
+                MiniState::Finish => {
+                    let slots = self.slots.take().expect("rounds complete");
+                    let upper_work = (self.sync.num_slots
+                        + self.shard.hdg.num_instances()
+                        + self.shard.hdg.num_roots()) as u64
+                        * d as u64;
+                    // Upper levels with sparse ops (the baseline has no
+                    // hybrid executor) — same as the threaded worker.
+                    let out = finish_upper_levels(
+                        self.shard,
+                        self.sync,
+                        slots,
+                        self.cfg.leaf_op,
+                        &self.cfg.plan,
+                        flexgraph_engine::hybrid::Strategy::Sa,
+                    );
+                    let ns = ctx.charge(upper_work);
+                    record_stage(&mut self.rec, Stage::Upper, upper_work, ns);
+                    let out = match &self.cfg.update_weight {
+                        Some(w) => {
+                            let work = out.rows() as u64 * out.cols() as u64 * w.cols() as u64;
+                            let mut o = out.matmul(w);
+                            o.relu_inplace();
+                            let ns = ctx.charge(work);
+                            record_stage(&mut self.rec, Stage::Update, work, ns);
+                            o
+                        }
+                        None => out,
+                    };
+                    attribute_root_costs_scaled(
+                        self.shard,
+                        self.sync,
+                        ctx.compute_factor(),
+                        &mut self.rec,
+                    );
+                    self.out = Some(Ok(out));
+                    return TaskStep::Done;
+                }
+            }
+        }
     }
 }
 
@@ -502,8 +904,8 @@ mod tests {
     use super::*;
     use crate::shard::make_shards;
     use crate::trainer::distributed_epoch;
-    use flexgraph_comm::CostModel;
-    use flexgraph_engine::hybrid::AggrPlan;
+    use flexgraph_comm::{CostModel, CrashPoint, FlakyRack, Straggler};
+    use flexgraph_engine::hybrid::{AggrOp, AggrPlan};
     use flexgraph_graph::gen::community;
     use flexgraph_graph::partition::hash_partition;
     use flexgraph_hdg::build::from_direct_neighbors;
@@ -521,18 +923,24 @@ mod tests {
         (ds.graph, ds.features, shards)
     }
 
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|x| x.to_bits()).collect()
+    }
+
+    const ALL_MODES: [DistMode; 4] = [
+        DistMode::FlexGraph { pipeline: true },
+        DistMode::FlexGraph { pipeline: false },
+        DistMode::EulerLike { batch_size: 16 },
+        DistMode::DistDglLike {
+            batch_size: 16,
+            hops: 2,
+        },
+    ];
+
     #[test]
     fn simulation_matches_threaded_runtime_results() {
         let (graph, _f, shards) = setup(3);
-        for mode in [
-            DistMode::FlexGraph { pipeline: true },
-            DistMode::FlexGraph { pipeline: false },
-            DistMode::EulerLike { batch_size: 16 },
-            DistMode::DistDglLike {
-                batch_size: 16,
-                hops: 2,
-            },
-        ] {
+        for mode in ALL_MODES {
             let cfg = DistConfig {
                 mode,
                 ..DistConfig::default()
@@ -543,6 +951,15 @@ mod tests {
                 sim.features.max_abs_diff(&real.features) < 1e-4,
                 "{mode:?}: simulation must compute the same features"
             );
+            // The virtual tasks run the exact helper sequence the
+            // threaded workers pin, so fault-free parity is bitwise.
+            assert_eq!(
+                bits(&sim.features),
+                bits(&real.features),
+                "{mode:?}: parity must be bitwise"
+            );
+            assert_eq!(sim.comm_bytes, real.comm_bytes, "{mode:?}: bytes");
+            assert_eq!(sim.comm_messages, real.comm_messages, "{mode:?}: messages");
         }
     }
 
@@ -559,6 +976,7 @@ mod tests {
         let sim = simulated_epoch(&graph, &shards, &cfg);
         let real = distributed_epoch(&graph, &shards, &cfg);
         assert!(sim.features.max_abs_diff(&real.features) < 1e-4);
+        assert_eq!(bits(&sim.features), bits(&real.features));
     }
 
     #[test]
@@ -613,5 +1031,116 @@ mod tests {
         let be = simulated_epoch(&graph, &shards, &euler).comm_bytes;
         let bd = simulated_epoch(&graph, &shards, &distd).comm_bytes;
         assert!(bd > be, "closure fetch {bd} must exceed dep fetch {be}");
+    }
+
+    #[test]
+    fn same_seed_virtual_epochs_are_byte_identical() {
+        let (graph, _f, shards) = setup(3);
+        let cfg = DistConfig {
+            chaos: Some(ChaosSchedule::stress(41).without_crash()),
+            ..DistConfig::default()
+        };
+        let net = NetProfile {
+            seed: 7,
+            rack_size: 2,
+            stragglers: vec![Straggler {
+                rank: 1,
+                compute_factor: 4.0,
+                link_factor: 2.0,
+            }],
+            flaky_racks: vec![FlakyRack {
+                rack: 0,
+                extra_delay_us: 120.0,
+                drop_prob: 0.5,
+            }],
+            ..NetProfile::default()
+        };
+        let a = virtual_epoch(&graph, &shards, &cfg, &net);
+        let b = virtual_epoch(&graph, &shards, &cfg, &net);
+        assert_eq!(a.event_log, b.event_log, "event logs must be identical");
+        assert_eq!(a.log_digest, b.log_digest);
+        assert_eq!(bits(&a.report.features), bits(&b.report.features));
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert!(a.report.drops_injected > 0, "stress schedule must inject");
+    }
+
+    #[test]
+    fn straggler_scales_virtual_time_and_measured_root_costs() {
+        let (graph, _f, shards) = setup(2);
+        let cfg = DistConfig::default();
+        let clean = virtual_epoch(&graph, &shards, &cfg, &NetProfile::default());
+        let skewed = NetProfile {
+            stragglers: vec![Straggler {
+                rank: 0,
+                compute_factor: 8.0,
+                link_factor: 1.0,
+            }],
+            ..NetProfile::default()
+        };
+        let skew = virtual_epoch(&graph, &shards, &cfg, &skewed);
+        let cost = |rep: &VirtualEpochReport, rank: u32| {
+            rep.report.telemetry.partitions[&rank].root_digest().1
+        };
+        // Straggling scales the measured per-root costs (what ADB
+        // ingests) on the slow rank only, and stretches the epoch.
+        assert!(cost(&skew, 0) > cost(&clean, 0) * 7);
+        assert_eq!(cost(&skew, 1), cost(&clean, 1));
+        assert!(skew.virtual_time > clean.virtual_time);
+        // The computed features are unaffected by timing.
+        assert_eq!(bits(&skew.report.features), bits(&clean.report.features));
+    }
+
+    #[test]
+    fn crash_recovery_is_bitwise_identical_to_fault_free() {
+        let (graph, _f, shards) = setup(3);
+        let net = NetProfile::default();
+        let clean = virtual_epoch(&graph, &shards, &DistConfig::default(), &net);
+        let crash_cfg = DistConfig {
+            chaos: Some(ChaosSchedule {
+                crash: Some(CrashPoint {
+                    rank: 1,
+                    at_send: 1,
+                }),
+                ..ChaosSchedule::default()
+            }),
+            ..DistConfig::default()
+        };
+        let crashed = virtual_epoch(&graph, &shards, &crash_cfg, &net);
+        assert_eq!(crashed.report.recoveries, 1);
+        assert!(crashed.event_log.contains("C "), "crash must be logged");
+        assert_eq!(
+            bits(&crashed.report.features),
+            bits(&clean.report.features),
+            "re-driven epoch must match the fault-free output bitwise"
+        );
+        // The re-driven attempt replays the fault-free schedule, so its
+        // log is exactly the fault-free log.
+        assert!(
+            crashed.event_log.ends_with(&clean.event_log),
+            "second attempt must replay the fault-free event sequence"
+        );
+    }
+
+    #[test]
+    fn virtual_telemetry_carries_stages_and_duration() {
+        let (graph, _f, shards) = setup(3);
+        let cfg = DistConfig {
+            update_weight: Some(Tensor::eye(6)),
+            ..DistConfig::default()
+        };
+        let rep = virtual_epoch(&graph, &shards, &cfg, &NetProfile::default());
+        let tele = &rep.report.telemetry;
+        assert_eq!(tele.virtual_ns, rep.virtual_time.as_nanos() as u64);
+        assert!(tele.virtual_ns > 0);
+        assert_eq!(tele.partitions.len(), 3);
+        for rec in tele.partitions.values() {
+            assert!(rec.pipelined);
+            assert_eq!(rec.stage(Stage::LeafSend).invocations, 1);
+            assert_eq!(rec.stage(Stage::Update).invocations, 1);
+            assert!(rec.stage(Stage::Upper).work > 0);
+            assert!(!rec.roots.is_empty(), "root costs attributed");
+        }
+        assert_eq!(tele.fabric.messages, rep.report.comm_messages);
+        assert_eq!(tele.fabric.bytes, rep.report.comm_bytes);
     }
 }

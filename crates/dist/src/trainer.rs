@@ -329,7 +329,7 @@ fn apply_update(agg: Tensor, cfg: &DistConfig) -> Tensor {
 }
 
 /// Completes the levels above the slots, dispatching on the slot level.
-fn finish_upper_levels(
+pub(crate) fn finish_upper_levels(
     shard: &Shard,
     sync: &LeafSync,
     mut slots: Tensor,

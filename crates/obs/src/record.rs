@@ -378,6 +378,10 @@ pub struct TraceEpoch {
     pub partitions: BTreeMap<u32, PartitionRecord>,
     /// Fabric-wide counters for the epoch.
     pub fabric: FabricCounters,
+    /// Virtual epoch duration in nanoseconds when the epoch ran on the
+    /// discrete-event runtime (`comm::det`); 0 on real threads.
+    /// Deterministic — part of the byte-stable trace.
+    pub virtual_ns: u64,
 }
 
 impl TraceEpoch {
@@ -387,6 +391,7 @@ impl TraceEpoch {
             epoch,
             partitions: BTreeMap::new(),
             fabric: FabricCounters::default(),
+            virtual_ns: 0,
         }
     }
 
@@ -407,6 +412,9 @@ impl TraceEpoch {
             self.absorb(rec.clone());
         }
         self.fabric.merge(&other.fabric);
+        // Virtual durations do not add across partial merges of the
+        // same epoch; the slowest view wins.
+        self.virtual_ns = self.virtual_ns.max(other.virtual_ns);
     }
 
     /// Measured cost units attributed to global root `v`, if any

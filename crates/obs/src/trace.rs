@@ -104,6 +104,11 @@ pub fn render_epoch(vt: u64, ep: &TraceEpoch, wall: bool) -> String {
             ep.fabric.retries, ep.fabric.drops_injected, ep.fabric.redeliveries
         );
     }
+    if ep.virtual_ns != 0 {
+        // Virtual-time epochs are deterministic, so the duration is
+        // part of the byte-stable trace (unlike wall fields).
+        let _ = write!(s, ",\"vns\":{}", ep.virtual_ns);
+    }
     s.push('}');
     s
 }
@@ -160,6 +165,8 @@ pub enum TraceLine {
         parts: u64,
         work: u64,
         fabric: FabricCounters,
+        /// Virtual epoch duration (0 when the epoch ran on real threads).
+        virtual_ns: u64,
     },
     /// One serving window. The bucketed histogram is not serialized —
     /// `record.latency` carries only `(count, total, max)` after a
@@ -299,13 +306,19 @@ fn parse_epoch(p: &mut Parser) -> Result<TraceLine, String> {
         messages: f[1],
         ..Default::default()
     };
-    if p.peek(',') {
+    let mut virtual_ns = 0;
+    while p.peek(',') {
         p.expect(',')?;
-        p.named_key("faults")?;
-        let d = p.fixed_array(3)?;
-        fabric.retries = d[0];
-        fabric.drops_injected = d[1];
-        fabric.redeliveries = d[2];
+        match p.key()?.as_str() {
+            "faults" => {
+                let d = p.fixed_array(3)?;
+                fabric.retries = d[0];
+                fabric.drops_injected = d[1];
+                fabric.redeliveries = d[2];
+            }
+            "vns" => virtual_ns = p.number()?,
+            other => return Err(format!("unknown epoch field {other:?}")),
+        }
     }
     p.expect('}')?;
     p.end()?;
@@ -315,6 +328,7 @@ fn parse_epoch(p: &mut Parser) -> Result<TraceLine, String> {
         parts,
         work,
         fabric,
+        virtual_ns,
     })
 }
 
@@ -561,6 +575,7 @@ mod tests {
         ep.fabric.retries = 2;
         let line = render_epoch(9, &ep, false);
         assert!(!line.contains("faults"));
+        assert!(!line.contains("vns"), "no virtual field on real threads");
         match parse_line(&line).unwrap() {
             TraceLine::Epoch {
                 vt,
@@ -568,11 +583,13 @@ mod tests {
                 parts,
                 work,
                 fabric,
+                virtual_ns,
             } => {
                 assert_eq!((vt, epoch, parts), (9, 3, 1));
                 assert_eq!(work, 576);
                 assert_eq!(fabric.bytes, 8192);
                 assert_eq!(fabric.retries, 0);
+                assert_eq!(virtual_ns, 0);
             }
             other => panic!("wrong kind: {other:?}"),
         }
@@ -580,6 +597,24 @@ mod tests {
         match parse_line(&wall_line).unwrap() {
             TraceLine::Epoch { fabric, .. } => assert_eq!(fabric.retries, 2),
             other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_epoch_round_trip() {
+        // A virtual-time epoch carries its deterministic duration in
+        // both trace modes, after any wall-only fields.
+        let mut ep = TraceEpoch::new(4);
+        ep.absorb(rec());
+        ep.fabric.retries = 1;
+        ep.virtual_ns = 123_456_789;
+        for wall in [false, true] {
+            let line = render_epoch(2, &ep, wall);
+            assert_eq!(line.contains("faults"), wall);
+            match parse_line(&line).unwrap() {
+                TraceLine::Epoch { virtual_ns, .. } => assert_eq!(virtual_ns, 123_456_789),
+                other => panic!("wrong kind: {other:?}"),
+            }
         }
     }
 

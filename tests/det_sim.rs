@@ -1,0 +1,156 @@
+//! Determinism suite for the virtual-time runtime (ISSUE 7 satellite).
+//!
+//! The contract (DESIGN.md §12): a virtual epoch is a pure function of
+//! `(graph, shards, config, net profile, chaos seed)`. Same inputs must
+//! reproduce the **exact bytes** — scheduler event log, emitted trace
+//! JSONL, and the output features' bit patterns — across repeated runs
+//! *and* across host thread counts (the DES scheduler is single-
+//! threaded; compute kernels are `FLEXGRAPH_THREADS`-invariant by the
+//! PR 2 contract). Different chaos seeds must produce observably
+//! different event interleavings.
+
+use flexgraph::dist::{make_shards, virtual_epoch, DistConfig, DistMode, VirtualEpochReport};
+use flexgraph::graph::partition::hash_partition;
+use flexgraph::hdg::build::from_direct_neighbors;
+use flexgraph::obs;
+use flexgraph::prelude::*;
+use flexgraph::tensor::set_thread_override;
+use std::sync::Mutex;
+
+/// Epoch ids and the trace session are process-global; tests that
+/// depend on them must not interleave.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn harness(n: usize, k: usize) -> (Graph, Vec<Shard>) {
+    let ds = flexgraph::graph::gen::community(n, 3, 5, 2, 6, 77);
+    let part = hash_partition(&ds.graph, k);
+    let shards = make_shards(n, &ds.features, &part, |roots| {
+        from_direct_neighbors(&ds.graph, roots.to_vec())
+    });
+    (ds.graph, shards)
+}
+
+fn chaotic_cfg(seed: u64) -> DistConfig {
+    DistConfig {
+        mode: DistMode::FlexGraph { pipeline: true },
+        update_weight: Some(Tensor::eye(6).scale(0.5)),
+        chaos: Some(ChaosSchedule::stress(seed).without_crash()),
+        ..DistConfig::default()
+    }
+}
+
+fn skewed_net() -> NetProfile {
+    NetProfile {
+        seed: 3,
+        rack_size: 2,
+        stragglers: vec![flexgraph::comm::Straggler {
+            rank: 1,
+            compute_factor: 3.0,
+            link_factor: 1.5,
+        }],
+        flaky_racks: vec![flexgraph::comm::FlakyRack {
+            rack: 0,
+            extra_delay_us: 80.0,
+            drop_prob: 0.4,
+        }],
+        ..NetProfile::default()
+    }
+}
+
+fn run(graph: &Graph, shards: &[Shard], seed: u64, threads: usize) -> VirtualEpochReport {
+    set_thread_override(Some(threads));
+    let rep = virtual_epoch(graph, shards, &chaotic_cfg(seed), &skewed_net());
+    set_thread_override(None);
+    rep
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_runs_and_thread_counts() {
+    let _guard = SESSION_LOCK.lock().unwrap();
+    let (graph, shards) = harness(150, 3);
+    let reference = run(&graph, &shards, 42, 1);
+    assert!(
+        !reference.event_log.is_empty(),
+        "epoch must log scheduler events"
+    );
+    assert!(
+        reference.report.drops_injected > 0,
+        "stress chaos must exercise the retry path"
+    );
+    // Two runs at each host thread count — every byte must match.
+    for threads in [1usize, 4, 1, 4] {
+        let rep = run(&graph, &shards, 42, threads);
+        assert_eq!(
+            rep.event_log, reference.event_log,
+            "event log diverged at {threads} threads"
+        );
+        assert_eq!(rep.log_digest, reference.log_digest);
+        assert_eq!(
+            bits(&rep.report.features),
+            bits(&reference.report.features),
+            "model bits diverged at {threads} threads"
+        );
+        assert_eq!(rep.virtual_time, reference.virtual_time);
+        assert_eq!(rep.report.comm_bytes, reference.report.comm_bytes);
+        assert_eq!(rep.report.retries, reference.report.retries);
+    }
+}
+
+#[test]
+fn different_seeds_produce_distinct_interleavings() {
+    let _guard = SESSION_LOCK.lock().unwrap();
+    let (graph, shards) = harness(150, 3);
+    let a = run(&graph, &shards, 1, 1);
+    let b = run(&graph, &shards, 2, 1);
+    assert_ne!(
+        a.event_log, b.event_log,
+        "different chaos seeds must schedule differently"
+    );
+    assert_ne!(a.log_digest.1, b.log_digest.1);
+    // ... but the computed features are schedule-independent.
+    assert_eq!(bits(&a.report.features), bits(&b.report.features));
+}
+
+/// One traced pair of virtual epochs, written to `path`. Epoch ids are
+/// reset so repeated sessions emit identical `"epoch"` fields.
+fn traced_session(path: &str, graph: &Graph, shards: &[Shard], threads: usize) {
+    obs::reset_epochs();
+    obs::start_trace(path).expect("trace file");
+    set_thread_override(Some(threads));
+    for seed in [42u64, 43] {
+        virtual_epoch(graph, shards, &chaotic_cfg(seed), &skewed_net());
+    }
+    set_thread_override(None);
+    obs::finish_trace();
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("flexgraph_{}_{}.jsonl", name, std::process::id()))
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn virtual_trace_jsonl_is_byte_identical_across_thread_counts() {
+    let _guard = SESSION_LOCK.lock().unwrap();
+    let (graph, shards) = harness(150, 3);
+    let (p1, p4) = (tmp("det_sim_t1"), tmp("det_sim_t4"));
+    traced_session(&p1, &graph, &shards, 1);
+    traced_session(&p4, &graph, &shards, 4);
+    let a = std::fs::read(&p1).unwrap();
+    let b = std::fs::read(&p4).unwrap();
+    assert!(!a.is_empty(), "trace must not be empty");
+    assert_eq!(a, b, "virtual traces diverged across thread counts");
+    // Every emitted epoch line must carry the virtual duration.
+    let text = String::from_utf8(a).unwrap();
+    let epochs = text.lines().filter(|l| l.contains("\"vns\":")).count();
+    assert_eq!(epochs, 2, "both virtual epochs must stamp virtual_ns");
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p4);
+}

@@ -99,6 +99,7 @@ fn every_trace_record_parses_against_the_schema() {
                 parts,
                 work,
                 fabric,
+                virtual_ns,
             } => {
                 assert!(vt > last_vt, "virtual timestamps must increase");
                 last_vt = vt;
@@ -108,6 +109,7 @@ fn every_trace_record_parses_against_the_schema() {
                 assert!(work > 0);
                 assert!(fabric.bytes > 0 && fabric.messages > 0);
                 assert_eq!(fabric.retries, 0, "fault counters excluded by default");
+                assert_eq!(virtual_ns, 0, "threaded epochs carry no virtual clock");
             }
             TraceLine::Serve { .. } => {
                 panic!("a training trace must not contain serve records");
