@@ -3,7 +3,11 @@
 //! Measures `matmul` (GFLOP/s) and `transpose` (GB/s) at three sizes,
 //! comparing the seed's unblocked reference kernels (`matmul_naive`,
 //! `transpose_naive`) against the tiled, pool-parallel ones, and
-//! verifies the outputs are bitwise identical before reporting. Emits
+//! verifies the outputs are bitwise identical before reporting. The
+//! quantized kernels ride along (ISSUE 8): `matmul_bf16` is timed
+//! against widen-then-f32-matmul (what serving would do without a bf16
+//! kernel) and `matmul_i8` against its scalar reference
+//! `matmul_i8_naive`, with the same bitwise-identity gate. Emits
 //! `BENCH_dense.json` in the current directory.
 //!
 //! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25; matmul edges scale
@@ -12,7 +16,8 @@
 //! on a single-core container it is pure cache blocking and register
 //! tiling; with threads it adds pool parallelism over row blocks.
 
-use flexgraph::tensor::{num_threads, Tensor};
+use flexgraph::tensor::quant::{matmul_bf16, matmul_i8, matmul_i8_naive, Bf16Tensor, QInt8Rows};
+use flexgraph::tensor::{num_threads, QInt8Cols, Tensor};
 use flexgraph_bench::bench_scale;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -95,6 +100,42 @@ fn bench_matmul(scale_name: &'static str, m: usize, k: usize, n: usize, rows: &m
     });
 }
 
+fn bench_matmul_bf16(scale_name: &'static str, m: usize, k: usize, n: usize, rows: &mut Vec<Row>) {
+    let a = Bf16Tensor::from_tensor(&Tensor::from_vec(m, k, fill(m * k, 42)));
+    let b = Bf16Tensor::from_tensor(&Tensor::from_vec(k, n, fill(k * n, 17)));
+    let gflop = 2.0 * m as f64 * k as f64 * n as f64 / 1e9;
+    // Baseline: widen both operands to f32 per call, then the tiled f32
+    // kernel — serving's alternative to a native bf16 matmul.
+    let (naive, n_out) = rate(gflop, || a.to_tensor().matmul(&b.to_tensor()));
+    let (tiled, t_out) = rate(gflop, || matmul_bf16(&a, &b));
+    rows.push(Row {
+        scale_name,
+        kernel: "matmul_bf16",
+        shape: format!("{m}x{k}x{n}"),
+        unit: "gflops",
+        naive,
+        tiled,
+        bitwise_identical: bitwise_eq(&n_out, &t_out),
+    });
+}
+
+fn bench_matmul_i8(scale_name: &'static str, m: usize, k: usize, n: usize, rows: &mut Vec<Row>) {
+    let a = QInt8Rows::quantize(&Tensor::from_vec(m, k, fill(m * k, 42)));
+    let b = QInt8Cols::quantize(&Tensor::from_vec(k, n, fill(k * n, 17)));
+    let gflop = 2.0 * m as f64 * k as f64 * n as f64 / 1e9;
+    let (naive, n_out) = rate(gflop, || matmul_i8_naive(&a, &b));
+    let (tiled, t_out) = rate(gflop, || matmul_i8(&a, &b));
+    rows.push(Row {
+        scale_name,
+        kernel: "matmul_i8",
+        shape: format!("{m}x{k}x{n}"),
+        unit: "gflops",
+        naive,
+        tiled,
+        bitwise_identical: bitwise_eq(&n_out, &t_out),
+    });
+}
+
 fn bench_transpose(scale_name: &'static str, r: usize, c: usize, rows: &mut Vec<Row>) {
     let t = Tensor::from_vec(r, c, fill(r * c, 7));
     // Each element is read once and written once.
@@ -133,6 +174,13 @@ fn main() {
         eprintln!("benchmarking matmul {name} ({e}x{e}x{e})...");
         bench_matmul(name, e, e, e, &mut rows);
     }
+    // Quantized kernels at the mid size — the shape serving's dense
+    // head scales toward; small/large add nothing but wall time.
+    let e = mm[1].1;
+    eprintln!("benchmarking matmul_bf16 ({e}x{e}x{e})...");
+    bench_matmul_bf16("medium", e, e, e, &mut rows);
+    eprintln!("benchmarking matmul_i8 ({e}x{e}x{e})...");
+    bench_matmul_i8("medium", e, e, e, &mut rows);
 
     // Transpose bytes are quadratic: scale each side by sqrt(scale).
     let sqrt = scale.sqrt();

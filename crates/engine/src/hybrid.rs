@@ -18,6 +18,9 @@ use flexgraph_graph::Graph;
 use flexgraph_hdg::Hdg;
 use flexgraph_tensor::autograd::reduce_row_blocks;
 use flexgraph_tensor::fusion::{materialized_bytes, segment_reduce, Reduce};
+use flexgraph_tensor::quant::{
+    gather_rows_bf16, gather_rows_q8, segment_reduce_bf16, segment_reduce_q8, Bf16Tensor, QInt8Rows,
+};
 use flexgraph_tensor::scatter::{
     gather_rows, scatter_add_with_plan, scatter_max_with_plan, scatter_mean_with_plan,
     scatter_min_with_plan, scatter_softmax_with_plan, ScatterPlan,
@@ -138,6 +141,104 @@ pub fn hierarchical_aggregate(
                 .as_reduce()
                 .ok_or(EngineError::Unsupported("attention at the leaf level"))?;
             segment_reduce(feats, hdg.inst_offsets(), hdg.leaf_sources(), reduce)
+        }
+    };
+    timer.stop(leaf_work);
+
+    let upper = aggregate_from_instances(hdg, &inst_feats, plan, strategy, budget)?;
+    Ok(AggrResult {
+        features: upper.features,
+        peak_transient_bytes: peak.max(upper.peak_transient_bytes),
+    })
+}
+
+/// Feature storage for the quantized leaf step: only the bottom level
+/// of the hierarchy ever touches the input feature matrix, so
+/// quantizing inference is exactly "swap the leaf gather/reduce for a
+/// half-/quarter-width one" — every level above runs the unchanged f32
+/// code on the (f32) instance features.
+#[derive(Clone, Copy, Debug)]
+pub enum LeafFeats<'a> {
+    /// Full-precision features (delegates to [`hierarchical_aggregate`]).
+    F32(&'a Tensor),
+    /// bf16-stored features, widened to f32 as they stream.
+    Bf16(&'a Bf16Tensor),
+    /// Per-row int8 features, dequantized as they stream.
+    Int8(&'a QInt8Rows),
+}
+
+impl LeafFeats<'_> {
+    fn cols(&self) -> usize {
+        match self {
+            Self::F32(t) => t.cols(),
+            Self::Bf16(t) => t.cols(),
+            Self::Int8(t) => t.cols(),
+        }
+    }
+}
+
+/// [`hierarchical_aggregate`] over quantized feature storage.
+///
+/// The leaf step reads rows at reduced width (bf16/int8) and
+/// accumulates in f32 with the same per-destination ascending-edge
+/// chains as the f32 kernels, so the result is bitwise-deterministic
+/// for any `FLEXGRAPH_THREADS` and bitwise-identical to widening /
+/// dequantizing the whole matrix and calling
+/// [`hierarchical_aggregate`]. `LeafFeats::F32` is exactly the f32
+/// path.
+pub fn hierarchical_aggregate_quant(
+    hdg: &Hdg,
+    feats: LeafFeats<'_>,
+    plan: &AggrPlan,
+    strategy: Strategy,
+    budget: &MemoryBudget,
+) -> Result<AggrResult, EngineError> {
+    let feats = match feats {
+        LeafFeats::F32(t) => return hierarchical_aggregate(hdg, t, plan, strategy, budget),
+        quant => quant,
+    };
+    let d = feats.cols();
+    let mut peak = 0usize;
+
+    let timer = flexgraph_obs::StageTimer::start(flexgraph_obs::Stage::Upper);
+    let leaf_work = hdg.leaf_sources().len() as u64 * d as u64;
+    let inst_feats = match strategy {
+        Strategy::Sa => {
+            // Materialize the per-edge rows (widened to f32), then
+            // scatter with the cached plan — same shape as the f32 SA
+            // path, and the transient is still accounted at f32 width
+            // because that is what the gather materializes.
+            let src = hdg.leaf_sources();
+            let bytes = materialized_bytes(src.len(), d);
+            peak = peak.max(bytes);
+            budget.check(bytes)?;
+            let gathered = match feats {
+                LeafFeats::F32(_) => unreachable!("handled above"),
+                LeafFeats::Bf16(t) => gather_rows_bf16(t, src),
+                LeafFeats::Int8(t) => gather_rows_q8(t, src),
+            };
+            apply_scatter(
+                plan.leaf_op,
+                &gathered,
+                &hdg.leaf_scatter_plan(),
+                &mut peak,
+                budget,
+            )?
+        }
+        Strategy::SaFa | Strategy::Ha => {
+            let reduce = plan
+                .leaf_op
+                .as_reduce()
+                .ok_or(EngineError::Unsupported("attention at the leaf level"))?;
+            match feats {
+                LeafFeats::F32(_) => unreachable!("handled above"),
+                LeafFeats::Bf16(t) => {
+                    segment_reduce_bf16(t, hdg.inst_offsets(), hdg.leaf_sources(), reduce)
+                }
+                LeafFeats::Int8(t) => {
+                    segment_reduce_q8(t, hdg.inst_offsets(), hdg.leaf_sources(), reduce)
+                }
+            }
         }
     };
     timer.stop(leaf_work);
@@ -440,6 +541,47 @@ mod tests {
             &MemoryBudget::unlimited(),
         );
         assert!(matches!(r, Err(EngineError::Unsupported(_))));
+    }
+
+    #[test]
+    fn quant_leaf_aggregation_matches_widened_f32_bitwise() {
+        let hdg = magnn_hdg();
+        let feats = feats9();
+        let bf = Bf16Tensor::from_tensor(&feats);
+        let q8 = QInt8Rows::quantize(&feats);
+        let budget = MemoryBudget::unlimited();
+        for op in [AggrOp::Sum, AggrOp::Mean, AggrOp::Max, AggrOp::Min] {
+            let plan = AggrPlan::flat(op);
+            for strat in [Strategy::Sa, Strategy::SaFa, Strategy::Ha] {
+                // Quantized leaf vs running the plain f32 path on the
+                // widened/dequantized matrix: every upper level is the
+                // same code, so the whole result must match bitwise.
+                let qb =
+                    hierarchical_aggregate_quant(&hdg, LeafFeats::Bf16(&bf), &plan, strat, &budget)
+                        .unwrap();
+                let wb =
+                    hierarchical_aggregate(&hdg, &bf.to_tensor(), &plan, strat, &budget).unwrap();
+                assert_eq!(qb.features, wb.features, "bf16 {op:?} {strat:?}");
+                let q8r =
+                    hierarchical_aggregate_quant(&hdg, LeafFeats::Int8(&q8), &plan, strat, &budget)
+                        .unwrap();
+                let w8 =
+                    hierarchical_aggregate(&hdg, &q8.dequantize(), &plan, strat, &budget).unwrap();
+                assert_eq!(q8r.features, w8.features, "int8 {op:?} {strat:?}");
+            }
+        }
+        // The F32 arm is exactly the plain path.
+        let plan = AggrPlan::flat(AggrOp::Sum);
+        let qf = hierarchical_aggregate_quant(
+            &hdg,
+            LeafFeats::F32(&feats),
+            &plan,
+            Strategy::Ha,
+            &budget,
+        )
+        .unwrap();
+        let wf = hierarchical_aggregate(&hdg, &feats, &plan, Strategy::Ha, &budget).unwrap();
+        assert_eq!(qf.features, wf.features);
     }
 
     #[test]

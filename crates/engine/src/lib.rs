@@ -32,6 +32,8 @@ pub mod memory;
 pub mod minibatch;
 pub mod nau;
 
-pub use hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
+pub use hybrid::{
+    hierarchical_aggregate, hierarchical_aggregate_quant, AggrOp, AggrPlan, LeafFeats, Strategy,
+};
 pub use memory::{admission_bytes, planned_admission_bytes, EngineError, MemoryBudget};
 pub use nau::{NeighborSelection, StageTimes};

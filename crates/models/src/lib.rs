@@ -24,6 +24,7 @@ pub mod checkpoint;
 pub mod gcn;
 pub mod ggcn;
 pub mod gin;
+pub mod golden;
 pub mod jknet;
 pub mod magnn;
 pub mod pgnn;

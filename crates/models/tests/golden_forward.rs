@@ -2,6 +2,12 @@
 //! category — GCN (DNFA), PinSage (INFA), JK-Net (INHA) — on a fixed
 //! 6-vertex graph with hand-chosen integer features and weights.
 //!
+//! The fixtures themselves (graphs, features, weights, the
+//! weight-override forward runner) live in [`flexgraph_models::golden`]
+//! so the serving crate's quantized-accuracy suite can replay the same
+//! exact-arithmetic inputs; this file owns the hand-computed expected
+//! outputs.
+//!
 //! Every value is an exact multiple of a small power of two and far below
 //! 2^24, so each partial sum in every kernel (segment reductions, dense
 //! matmuls, shell means) is exactly representable in `f32`. The expected
@@ -9,78 +15,10 @@
 //! accumulation order, tiling, and `FLEXGRAPH_THREADS` — the assertions
 //! compare exact bits, not approximations.
 
-use flexgraph_graph::csr::GraphBuilder;
-use flexgraph_graph::gen::Dataset;
+use flexgraph_models::golden::{concat_weights, gcn_weights, graph_a, graph_cycle, run_forward};
 use flexgraph_models::train::Model;
 use flexgraph_models::{Gcn, JkNet, PinSage};
-use flexgraph_tensor::{Graph, ParamSet, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// The fixed 6×2 feature matrix shared by all three fixtures.
-fn features() -> Tensor {
-    Tensor::from_vec(
-        6,
-        2,
-        vec![
-            1.0, 2.0, // v0
-            3.0, 1.0, // v1
-            0.0, 2.0, // v2
-            2.0, 0.0, // v3
-            1.0, 1.0, // v4
-            4.0, 3.0, // v5
-        ],
-    )
-}
-
-fn dataset(edges: &[(u32, u32)], name: &str) -> Dataset {
-    let mut b = GraphBuilder::new(6);
-    for &(a, c) in edges {
-        b.add_undirected(a, c);
-    }
-    Dataset {
-        name: name.to_string(),
-        graph: b.build(),
-        types: None,
-        features: features(),
-        labels: vec![0; 6],
-        num_classes: 2,
-    }
-}
-
-/// Path-plus-triangle graph: 0-1, 0-2, 1-2, 2-3, 3-4, 4-5.
-fn graph_a() -> Dataset {
-    dataset(
-        &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)],
-        "golden-a",
-    )
-}
-
-/// 6-cycle: every vertex has exactly two 1-hop and two 2-hop neighbors,
-/// so JK-Net's shell means divide by powers of two only.
-fn graph_cycle() -> Dataset {
-    dataset(
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
-        "golden-c",
-    )
-}
-
-/// Runs `model.forward` on the dataset with the given weight overrides.
-fn run_forward<M: Model>(mut model: M, ds: &Dataset, weights: &[Tensor]) -> Tensor {
-    let mut params = ParamSet::new();
-    let mut rng = StdRng::seed_from_u64(0);
-    model.init_params(&mut params, &mut rng);
-    assert_eq!(params.len(), weights.len(), "one override per slot");
-    for (i, w) in weights.iter().enumerate() {
-        assert_eq!(params.value(i).shape(), w.shape(), "slot {i} shape");
-        *params.value_mut(i) = w.clone();
-    }
-    model.selection(ds, 0);
-    let mut g = Graph::new();
-    let feats = g.leaf(ds.features.clone());
-    let out = model.forward(&mut g, feats, &params);
-    g.value(out).clone()
-}
+use flexgraph_tensor::Tensor;
 
 /// Exact-bits comparison with a readable diff on mismatch.
 fn assert_bits(actual: &Tensor, expected: &[[f32; 2]; 6]) {
@@ -102,8 +40,7 @@ fn assert_bits(actual: &Tensor, expected: &[[f32; 2]; 6]) {
 #[test]
 fn gcn_forward_matches_hand_computed_fixture() {
     let ds = graph_a();
-    let w1 = Tensor::from_vec(2, 2, vec![1.0, -1.0, 2.0, 1.0]);
-    let w2 = Tensor::from_vec(2, 2, vec![1.0, 1.0, -1.0, 2.0]);
+    let (w1, w2) = gcn_weights();
     let out = run_forward(Gcn::new(2, 2, 2), &ds, &[w1, w2]);
     // Layer 1: a[v] = Σ h[u] over neighbors; ReLU((h+a)·W1) gives
     //   [[14,1],[14,1],[16,0],[9,0],[15,0],[13,0]].
@@ -124,8 +61,7 @@ fn gcn_forward_matches_hand_computed_fixture() {
 #[test]
 fn jknet_forward_matches_hand_computed_fixture() {
     let ds = graph_cycle();
-    let w1 = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0, 1.0, 1.0]);
-    let w2 = Tensor::from_vec(4, 2, vec![1.0, 1.0, -1.0, 0.0, 0.0, 2.0, 2.0, -2.0]);
+    let (w1, w2) = concat_weights();
     let mut m = JkNet::new(2, 2, 2, 2);
     // Shell layout: every (root, shell) segment on the 6-cycle has
     // exactly two members ({v±1}, then {v±2}), so all means are exact
@@ -185,8 +121,7 @@ fn pinsage_forward_matches_fixture() {
             4, 3, 2, // v5
         ]
     );
-    let w1 = Tensor::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 2.0, -1.0, 1.0, 1.0]);
-    let w2 = Tensor::from_vec(4, 2, vec![1.0, 1.0, -1.0, 0.0, 0.0, 2.0, 2.0, -2.0]);
+    let (w1, w2) = concat_weights();
     let out = run_forward(m, &ds, &[w1, w2]);
     // Hand-computed from the snapshot above (all-integer arithmetic):
     // layer 1 gives [[17,0],[16,2],[29,0],[29,0],[22,1],[13,3]].

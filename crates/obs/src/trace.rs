@@ -118,15 +118,16 @@ pub fn render_epoch(vt: u64, ep: &TraceEpoch, wall: bool) -> String {
 /// ```text
 /// {"k":"serve","vt":4,"reqs":[enqueued,served,rejected],
 ///  "batches":[count,max],"cache":[hits,misses],"queue":[depth_max],
-///  "lat":[count,total,max,p50,p99]}
+///  "quant":code,"lat":[count,total,max,p50,p99]}
 /// ```
 ///
-/// Every field is an integer counter or a bucketed virtual-time
+/// Every field is an integer counter, a precision label
+/// (`quant`: 0 = f32, 1 = bf16, 2 = int8), or a bucketed virtual-time
 /// quantile — no wall clocks — so serve traces stay byte-identical
 /// across same-seed runs regardless of thread count.
 pub fn render_serve(vt: u64, rec: &ServeRecord) -> String {
     format!(
-        "{{\"k\":\"serve\",\"vt\":{},\"reqs\":[{},{},{}],\"batches\":[{},{}],\"cache\":[{},{}],\"queue\":[{}],\"lat\":[{},{},{},{},{}]}}",
+        "{{\"k\":\"serve\",\"vt\":{},\"reqs\":[{},{},{}],\"batches\":[{},{}],\"cache\":[{},{}],\"queue\":[{}],\"quant\":{},\"lat\":[{},{},{},{},{}]}}",
         vt,
         rec.enqueued,
         rec.served,
@@ -136,6 +137,7 @@ pub fn render_serve(vt: u64, rec: &ServeRecord) -> String {
         rec.cache_hits,
         rec.cache_misses,
         rec.queue_depth_max,
+        rec.quant,
         rec.latency.count,
         rec.latency.total,
         rec.latency.max,
@@ -349,12 +351,18 @@ fn parse_serve(p: &mut Parser) -> Result<TraceLine, String> {
     p.named_key("queue")?;
     let q = p.fixed_array(1)?;
     p.expect(',')?;
+    p.named_key("quant")?;
+    let quant = p.number()?;
+    p.expect(',')?;
     p.named_key("lat")?;
     let l = p.fixed_array(5)?;
     p.expect('}')?;
     p.end()?;
     if r[1] > r[0] {
         return Err("served > enqueued".into());
+    }
+    if quant > 2 {
+        return Err("unknown quant code".into());
     }
     if l[2] > l[1] && l[0] > 0 {
         return Err("latency max > total".into());
@@ -371,6 +379,7 @@ fn parse_serve(p: &mut Parser) -> Result<TraceLine, String> {
         cache_hits: c[0],
         cache_misses: c[1],
         queue_depth_max: q[0],
+        quant,
         ..Default::default()
     };
     record.latency.count = l[0];
@@ -629,6 +638,7 @@ mod tests {
             cache_hits: 13,
             cache_misses: 25,
             queue_depth_max: 9,
+            quant: 2,
             ..Default::default()
         };
         for lat in [0, 1, 3, 3, 7, 20] {
@@ -649,6 +659,7 @@ mod tests {
                 assert_eq!((record.batches, record.batch_max), (5, 8));
                 assert_eq!((record.cache_hits, record.cache_misses), (13, 25));
                 assert_eq!(record.queue_depth_max, 9);
+                assert_eq!(record.quant, 2);
                 assert_eq!(record.latency.count, 6);
                 assert_eq!(record.latency.total, 34);
                 assert_eq!(record.latency.max, 20);
@@ -664,11 +675,15 @@ mod tests {
     fn malformed_serve_lines_are_rejected() {
         for bad in [
             // served > enqueued is impossible.
-            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[1,2,0],\"batches\":[1,1],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[1,2,0],\"batches\":[1,1],\"cache\":[0,0],\"queue\":[0],\"quant\":0,\"lat\":[0,0,0,0,0]}",
             // p50 > p99 is impossible.
-            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[2,5,4,7,3]}",
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"quant\":0,\"lat\":[2,5,4,7,3]}",
+            // Unknown precision label.
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"quant\":3,\"lat\":[0,0,0,0,0]}",
             // Wrong arity.
-            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"quant\":0,\"lat\":[0,0,0,0,0]}",
+            // Pre-quant schema (missing the label).
+            "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
             "{\"k\":\"serve\",\"vt\":1}",
         ] {
             assert!(parse_line(bad).is_err(), "accepted: {bad}");

@@ -39,6 +39,15 @@
 //! reduces per-destination segments in a fixed order, and the dense
 //! head accumulates each output row over ascending `k` regardless of
 //! which other rows share the batch.
+//!
+//! Quantized serving ([`QuantConfig::Bf16`] / [`QuantConfig::Int8`] on
+//! [`ServerConfig`]) swaps the f32 kernels for bf16/int8 ones and
+//! halves the embedding cache's bytes per row
+//! ([`cache::CacheMode::Bf16`]). The parity invariant then holds **per
+//! config**: within a fixed `QuantConfig`, outputs stay bitwise
+//! identical across thread counts, batch compositions, and cache
+//! states — they differ from f32 only by a bounded rounding error
+//! (see `tests/quant_accuracy.rs`).
 
 pub mod batcher;
 pub mod cache;
@@ -46,10 +55,12 @@ pub mod model;
 pub mod server;
 
 pub use batcher::{BatcherConfig, MicroBatcher, Request};
-pub use cache::{CacheKey, EmbeddingCache};
+pub use cache::{CacheKey, CacheMode, EmbeddingCache};
+pub use flexgraph_tensor::QuantConfig;
 pub use model::{
-    aggregate_roots, aggregate_roots_preadmitted, dense_head, selection_admission_bytes, serve_one,
-    AdmissionPlanner, ModelSnapshot, ServeModelConfig,
+    aggregate_roots, aggregate_roots_preadmitted, dense_head, dense_head_quant,
+    selection_admission_bytes, serve_one, serve_one_quant, AdmissionPlanner, ModelSnapshot,
+    ServeFeats, ServeModelConfig,
 };
 pub use server::{Response, Server, ServerConfig};
 

@@ -17,13 +17,18 @@
 //! for a [`flexgraph_models::gcn::Gcn`] is servable as-is.
 
 use crate::ServeError;
-use flexgraph_engine::hybrid::{hierarchical_aggregate, AggrOp, AggrPlan, Strategy};
+use flexgraph_engine::hybrid::{
+    hierarchical_aggregate, hierarchical_aggregate_quant, AggrOp, AggrPlan, LeafFeats, Strategy,
+};
 use flexgraph_engine::{admission_bytes, planned_admission_bytes, MemoryBudget};
 use flexgraph_graph::hll::ReachSketches;
 use flexgraph_graph::Graph;
 use flexgraph_hdg::build::{from_hop_shells_capped, hop_shell_records};
 use flexgraph_models::checkpoint;
-use flexgraph_tensor::{xavier_uniform, ParamSet, Tensor};
+use flexgraph_tensor::quant::{matmul_bf16, matmul_i8, round_bf16_inplace};
+use flexgraph_tensor::{
+    xavier_uniform, Bf16Tensor, ParamSet, QInt8Cols, QInt8Rows, QuantConfig, Tensor,
+};
 use rand::SeedableRng;
 
 /// Static configuration of the served model and its NeighborSelection.
@@ -60,12 +65,125 @@ impl Default for ServeModelConfig {
     }
 }
 
+/// The feature matrix at the serving tier's configured precision.
+///
+/// Quantization is per-row (bf16 is elementwise; int8 scales depend
+/// only on the row itself), so a vertex's stored feature row is a pure
+/// function of its f32 row — batch composition can never change the
+/// `x_v` any request reads, which is what keeps the parity invariant
+/// alive under quantization.
+#[derive(Clone, Debug)]
+pub enum ServeFeats {
+    /// Full-width features (4 bytes/element).
+    F32(Tensor),
+    /// bf16 storage (2 bytes/element), widened as rows stream.
+    Bf16(Bf16Tensor),
+    /// Symmetric per-row int8 (≈1 byte/element), dequantized as rows
+    /// stream.
+    Int8(QInt8Rows),
+}
+
+impl ServeFeats {
+    /// Quantizes (or wraps) an f32 feature matrix per `quant`.
+    pub fn new(feats: Tensor, quant: QuantConfig) -> Self {
+        match quant {
+            QuantConfig::F32 => Self::F32(feats),
+            QuantConfig::Bf16 => Self::Bf16(Bf16Tensor::from_tensor(&feats)),
+            QuantConfig::Int8 => Self::Int8(QInt8Rows::quantize(&feats)),
+        }
+    }
+
+    /// Number of feature rows (vertices).
+    pub fn rows(&self) -> usize {
+        match self {
+            Self::F32(t) => t.rows(),
+            Self::Bf16(t) => t.rows(),
+            Self::Int8(t) => t.rows(),
+        }
+    }
+
+    /// Feature width.
+    pub fn cols(&self) -> usize {
+        match self {
+            Self::F32(t) => t.cols(),
+            Self::Bf16(t) => t.cols(),
+            Self::Int8(t) => t.cols(),
+        }
+    }
+
+    /// Writes the f32 view of row `v` into `out`.
+    pub fn copy_row_into(&self, v: usize, out: &mut [f32]) {
+        match self {
+            Self::F32(t) => out.copy_from_slice(t.row(v)),
+            Self::Bf16(t) => t.widen_row_into(v, out),
+            Self::Int8(t) => t.dequantize_row_into(v, out),
+        }
+    }
+
+    /// The leaf-level view the quantized aggregation entry consumes.
+    pub fn as_leaf(&self) -> LeafFeats<'_> {
+        match self {
+            Self::F32(t) => LeafFeats::F32(t),
+            Self::Bf16(t) => LeafFeats::Bf16(t),
+            Self::Int8(t) => LeafFeats::Int8(t),
+        }
+    }
+
+    /// Heap bytes of the stored matrix — the bandwidth/footprint lever
+    /// quantized serving exists for.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Self::F32(t) => t.heap_bytes(),
+            Self::Bf16(t) => t.heap_bytes(),
+            Self::Int8(t) => t.heap_bytes(),
+        }
+    }
+}
+
+/// The dense head's weights at the snapshot's precision, derived once
+/// from the f32 parameters at snapshot construction (never per batch).
+#[derive(Clone, Debug)]
+enum QuantWeights {
+    /// Serve straight off the f32 `ParamSet`.
+    F32,
+    /// bf16-stored W1/W2, widened into the f32 matmul chain.
+    Bf16 { w1: Bf16Tensor, w2: Bf16Tensor },
+    /// Per-column int8 W1/W2 for the i32-accumulating matmul.
+    Int8 { w1: QInt8Cols, w2: QInt8Cols },
+}
+
+impl QuantWeights {
+    fn derive(params: &ParamSet, quant: QuantConfig) -> Self {
+        match quant {
+            QuantConfig::F32 => Self::F32,
+            QuantConfig::Bf16 => Self::Bf16 {
+                w1: Bf16Tensor::from_tensor(params.value(0)),
+                w2: Bf16Tensor::from_tensor(params.value(1)),
+            },
+            QuantConfig::Int8 => Self::Int8 {
+                w1: QInt8Cols::quantize(params.value(0)),
+                w2: QInt8Cols::quantize(params.value(1)),
+            },
+        }
+    }
+}
+
 /// An immutable, versioned parameter snapshot. Slot 0 is W1, slot 1 is
 /// W2 — the exact layout [`flexgraph_models::gcn::Gcn`] registers, so
 /// GCN checkpoints restore directly.
+///
+/// A snapshot carries its [`QuantConfig`] and the weights *already
+/// quantized* under it: quantization happens exactly once, at snapshot
+/// construction (initial load or hot swap), never on the request path.
+/// Because a hot swap builds a whole new snapshot
+/// ([`ModelSnapshot::with_checkpoint`] re-quantizes the restored
+/// parameters under the same config), pinned in-flight batches keep
+/// serving their old snapshot's quantized weights untouched.
 pub struct ModelSnapshot {
     version: u64,
     params: ParamSet,
+    quant_cfg: QuantConfig,
+    quant: QuantWeights,
 }
 
 impl std::fmt::Debug for ModelSnapshot {
@@ -89,19 +207,36 @@ fn clone_params(src: &ParamSet) -> ParamSet {
 }
 
 impl ModelSnapshot {
-    /// Version 1: Xavier-initialized parameters (pre-first-swap
+    /// Version 1: Xavier-initialized f32 parameters (pre-first-swap
     /// serving, tests).
     pub fn init(cfg: &ServeModelConfig, init_seed: u64) -> Self {
+        Self::init_quant(cfg, init_seed, QuantConfig::F32)
+    }
+
+    /// Version 1 at an explicit serving precision: the same f32
+    /// initialization, with the weights quantized once up front.
+    pub fn init_quant(cfg: &ServeModelConfig, init_seed: u64, quant: QuantConfig) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(init_seed);
         let mut params = ParamSet::new();
         params.register(xavier_uniform(&mut rng, cfg.in_dim, cfg.hidden));
         params.register(xavier_uniform(&mut rng, cfg.hidden, cfg.classes));
-        Self { version: 1, params }
+        let quant_w = QuantWeights::derive(&params, quant);
+        Self {
+            version: 1,
+            params,
+            quant_cfg: quant,
+            quant: quant_w,
+        }
     }
 
     /// This snapshot's version — the cache-key component.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The precision this snapshot serves at.
+    pub fn quant_config(&self) -> QuantConfig {
+        self.quant_cfg
     }
 
     /// The parameter set.
@@ -121,15 +256,19 @@ impl ModelSnapshot {
 
     /// Builds the successor snapshot from a checkpoint v2 buffer:
     /// restore into a **clone** of the current parameters (`self` is
-    /// never touched), bump the version. Any validation failure —
-    /// corrupt CRC, shape mismatch — leaves the caller's snapshot the
-    /// serving truth.
+    /// never touched), re-quantize the restored weights under this
+    /// snapshot's [`QuantConfig`], bump the version. Any validation
+    /// failure — corrupt CRC, shape mismatch — leaves the caller's
+    /// snapshot the serving truth.
     pub fn with_checkpoint(&self, bytes: &[u8]) -> Result<Self, ServeError> {
         let mut params = clone_params(&self.params);
         checkpoint::restore(&mut params, bytes)?;
+        let quant = QuantWeights::derive(&params, self.quant_cfg);
         Ok(Self {
             version: self.version + 1,
             params,
+            quant_cfg: self.quant_cfg,
+            quant,
         })
     }
 }
@@ -259,6 +398,46 @@ pub fn aggregate_roots_preadmitted(
     Ok(res.features)
 }
 
+/// [`aggregate_roots`] over the serving tier's quantized feature store:
+/// the leaf level streams rows at reduced width, every level above is
+/// the unchanged f32 code. `ServeFeats::F32` is bitwise the f32 path.
+pub fn aggregate_roots_quant(
+    g: &Graph,
+    feats: &ServeFeats,
+    cfg: &ServeModelConfig,
+    roots: &[u32],
+    budget: &MemoryBudget,
+) -> Result<Tensor, ServeError> {
+    budget.check(selection_admission_bytes(g, cfg, roots))?;
+    aggregate_roots_preadmitted_quant(g, feats, cfg, roots, budget)
+}
+
+/// [`aggregate_roots_preadmitted`] over the quantized feature store.
+pub fn aggregate_roots_preadmitted_quant(
+    g: &Graph,
+    feats: &ServeFeats,
+    cfg: &ServeModelConfig,
+    roots: &[u32],
+    budget: &MemoryBudget,
+) -> Result<Tensor, ServeError> {
+    let hdg = from_hop_shells_capped(g, roots.to_vec(), cfg.hops, cfg.cap, cfg.seed);
+    let plan = AggrPlan::flat(cfg.op);
+    let res = hierarchical_aggregate_quant(&hdg, feats.as_leaf(), &plan, Strategy::Ha, budget)?;
+    Ok(res.features)
+}
+
+/// Rounds every element of `t` through bf16 when `quant` stores rows at
+/// half width; identity under `F32`. This is the
+/// **rounding-at-cache-boundaries** rule: any row that *may* enter the
+/// half-width [`crate::cache::EmbeddingCache`] (aggregations, final
+/// outputs) is rounded before first use, so a warm hit returns bitwise
+/// what the cold compute produced.
+pub fn cache_round_inplace(quant: QuantConfig, t: &mut Tensor) {
+    if quant != QuantConfig::F32 {
+        round_bf16_inplace(t);
+    }
+}
+
 /// The dense head on pre-summed rows: `relu(s · W1) · W2` where row
 /// `i` of `summed` is `x_v + a_v` for some vertex `v`. Row-independent
 /// (tiled matmul accumulates each output element over ascending `k`),
@@ -267,9 +446,49 @@ pub fn dense_head(summed: &Tensor, snap: &ModelSnapshot) -> Tensor {
     summed.matmul(snap.w1()).relu().matmul(snap.w2())
 }
 
+/// The dense head at the snapshot's precision. Under `F32` this is
+/// exactly [`dense_head`]; the quantized arms round activations at
+/// every storage boundary and emit outputs already bf16-rounded (their
+/// cache-storage form), so cold computes and warm hits are bitwise
+/// interchangeable. Every step is per-row independent — elementwise
+/// rounding, per-row activation quantization, per-output-row matmul
+/// chains — which preserves the batch-composition parity invariant.
+pub fn dense_head_quant(summed: &Tensor, snap: &ModelSnapshot) -> Tensor {
+    match &snap.quant {
+        QuantWeights::F32 => dense_head(summed, snap),
+        QuantWeights::Bf16 { w1, w2 } => {
+            // Round activations to bf16, then widen into the same
+            // ascending-K f32 chain as the f32 matmul.
+            let s = Bf16Tensor::from_tensor(summed);
+            let mut h = matmul_bf16(&s, w1);
+            h.relu_inplace();
+            let hq = Bf16Tensor::from_tensor(&h);
+            let mut out = matmul_bf16(&hq, w2);
+            round_bf16_inplace(&mut out);
+            out
+        }
+        QuantWeights::Int8 { w1, w2 } => {
+            // Per-row symmetric activation quant + i32-accumulating
+            // matmul; relu between layers runs on the dequantized f32.
+            let qs = QInt8Rows::quantize(summed);
+            let mut h = matmul_i8(&qs, w1);
+            h.relu_inplace();
+            let qh = QInt8Rows::quantize(&h);
+            let mut out = matmul_i8(&qh, w2);
+            round_bf16_inplace(&mut out);
+            out
+        }
+    }
+}
+
 /// The reference single-request forward: exactly what a batch of one
 /// computes, with no queue, cache, or batching in the loop. The parity
 /// suite holds every served output bitwise equal to this.
+///
+/// Quant-aware: when `snap` carries a non-f32 [`QuantConfig`], the f32
+/// feature matrix is quantized per-row (a pure per-row function, so
+/// doing it per call changes nothing) and the forward runs the
+/// quantized pipeline via [`serve_one_quant`].
 pub fn serve_one(
     g: &Graph,
     feats: &Tensor,
@@ -278,14 +497,48 @@ pub fn serve_one(
     vertex: u32,
     budget: &MemoryBudget,
 ) -> Result<Vec<f32>, ServeError> {
-    let agg = aggregate_roots(g, feats, cfg, &[vertex], budget)?;
+    match snap.quant_config() {
+        QuantConfig::F32 => {
+            let agg = aggregate_roots(g, feats, cfg, &[vertex], budget)?;
+            let mut summed = Tensor::zeros(1, cfg.in_dim);
+            let x = feats.row(vertex as usize);
+            let a = agg.row(0);
+            for (o, (xv, av)) in summed.row_mut(0).iter_mut().zip(x.iter().zip(a)) {
+                *o = xv + av;
+            }
+            Ok(dense_head(&summed, snap).row(0).to_vec())
+        }
+        q => {
+            let store = ServeFeats::new(feats.clone(), q);
+            serve_one_quant(g, &store, snap, cfg, vertex, budget)
+        }
+    }
+}
+
+/// [`serve_one`] over an already-built quantized feature store — the
+/// reference forward of the quantized determinism contract, and the
+/// exact sequence [`crate::Server::execute_batch`] performs per row:
+/// quantized aggregation, bf16 rounding of `a_v` (its cache-storage
+/// form), `x_v + a_v` in f32, then [`dense_head_quant`].
+pub fn serve_one_quant(
+    g: &Graph,
+    feats: &ServeFeats,
+    snap: &ModelSnapshot,
+    cfg: &ServeModelConfig,
+    vertex: u32,
+    budget: &MemoryBudget,
+) -> Result<Vec<f32>, ServeError> {
+    let quant = snap.quant_config();
+    let mut agg = aggregate_roots_quant(g, feats, cfg, &[vertex], budget)?;
+    cache_round_inplace(quant, &mut agg);
     let mut summed = Tensor::zeros(1, cfg.in_dim);
-    let x = feats.row(vertex as usize);
+    let mut x = vec![0.0f32; cfg.in_dim];
+    feats.copy_row_into(vertex as usize, &mut x);
     let a = agg.row(0);
     for (o, (xv, av)) in summed.row_mut(0).iter_mut().zip(x.iter().zip(a)) {
         *o = xv + av;
     }
-    Ok(dense_head(&summed, snap).row(0).to_vec())
+    Ok(dense_head_quant(&summed, snap).row(0).to_vec())
 }
 
 #[cfg(test)]

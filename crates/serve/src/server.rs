@@ -12,16 +12,17 @@
 //! down.
 
 use crate::batcher::{BatcherConfig, MicroBatcher, Request};
-use crate::cache::{CacheKey, EmbeddingCache};
+use crate::cache::{CacheKey, CacheMode, EmbeddingCache};
 use crate::model::{
-    aggregate_roots, aggregate_roots_preadmitted, dense_head, selection_admission_bytes,
-    AdmissionPlanner, ModelSnapshot, ServeModelConfig,
+    aggregate_roots_preadmitted_quant, aggregate_roots_quant, cache_round_inplace,
+    dense_head_quant, selection_admission_bytes, AdmissionPlanner, ModelSnapshot, ServeFeats,
+    ServeModelConfig,
 };
 use crate::ServeError;
 use flexgraph_engine::MemoryBudget;
 use flexgraph_graph::Graph;
 use flexgraph_obs::ServeRecord;
-use flexgraph_tensor::Tensor;
+use flexgraph_tensor::{QuantConfig, Tensor};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -37,6 +38,10 @@ pub struct ServerConfig {
     /// Admission-control budget: a batch whose NeighborSelection would
     /// materialize more transient bytes is rejected, not executed.
     pub budget: MemoryBudget,
+    /// Serving precision. Non-f32 configs store features, weights, and
+    /// cached embeddings at reduced width; the cache switches to bf16
+    /// storage so the same byte budget holds ~2× the rows.
+    pub quant: QuantConfig,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +51,7 @@ impl Default for ServerConfig {
             model: ServeModelConfig::default(),
             cache_bytes: 1 << 20,
             budget: MemoryBudget::unlimited(),
+            quant: QuantConfig::F32,
         }
     }
 }
@@ -71,7 +77,7 @@ pub struct Response {
 /// The online inference server.
 pub struct Server {
     graph: Graph,
-    feats: Tensor,
+    feats: ServeFeats,
     cfg: ServerConfig,
     model: RwLock<Arc<ModelSnapshot>>,
     batcher: Mutex<MicroBatcher>,
@@ -85,10 +91,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server over `graph`/`feats` starting at `snapshot`.
+    /// A server over `graph`/`feats` starting at `snapshot`. Features
+    /// are quantized once, here, when `cfg.quant` is not f32 (the f32
+    /// matrix is dropped — the reduced-width store is the serving
+    /// truth).
     ///
-    /// Panics if the feature width disagrees with the model config —
-    /// that is a wiring bug, not a runtime condition to shed.
+    /// Panics if the feature width disagrees with the model config or
+    /// the snapshot's precision disagrees with the server's — both are
+    /// wiring bugs, not runtime conditions to shed.
     pub fn new(graph: Graph, feats: Tensor, cfg: ServerConfig, snapshot: ModelSnapshot) -> Self {
         assert_eq!(
             feats.cols(),
@@ -100,18 +110,32 @@ impl Server {
             feats.rows(),
             "one feature row per vertex"
         );
+        assert_eq!(
+            snapshot.quant_config(),
+            cfg.quant,
+            "snapshot precision must match the server's QuantConfig"
+        );
         let planner = if cfg.budget.bytes != usize::MAX {
             Some(AdmissionPlanner::new(&graph, &cfg.model))
         } else {
             None
         };
+        // Half-width cache storage rides with quantized serving: the
+        // quant pipeline rounds rows through bf16 before they reach the
+        // cache, so narrow storage round-trips exactly there (and only
+        // there — f32 serving keeps f32 rows).
+        let cache_mode = if cfg.quant == QuantConfig::F32 {
+            CacheMode::F32
+        } else {
+            CacheMode::Bf16
+        };
         Self {
             graph,
-            feats,
+            feats: ServeFeats::new(feats, cfg.quant),
             cfg,
             model: RwLock::new(Arc::new(snapshot)),
             batcher: Mutex::new(MicroBatcher::new(cfg.batcher)),
-            cache: Mutex::new(EmbeddingCache::new(cfg.cache_bytes)),
+            cache: Mutex::new(EmbeddingCache::with_mode(cfg.cache_bytes, cache_mode)),
             window: Mutex::new(ServeRecord::default()),
             planner,
         }
@@ -267,7 +291,7 @@ impl Server {
                 layer: 1,
             };
             match cache.get(key) {
-                Some(row) => out_rows.push(Some(row.to_vec())),
+                Some(row) => out_rows.push(Some(row)),
                 None => {
                     out_rows.push(None);
                     if pending_set.insert(r.vertex) {
@@ -286,7 +310,7 @@ impl Server {
                 layer: 0,
             };
             match cache.get(key) {
-                Some(row) => agg_rows.push(Some(row.to_vec())),
+                Some(row) => agg_rows.push(Some(row)),
                 None => {
                     agg_rows.push(None);
                     need_agg.push(v);
@@ -303,11 +327,11 @@ impl Server {
         // engine's own per-step budget checks run either way; any
         // rejection sheds the whole batch.
         let execute = || -> Result<Vec<Vec<f32>>, ServeError> {
-            let fresh = if need_agg.is_empty() {
+            let mut fresh = if need_agg.is_empty() {
                 Tensor::zeros(0, m.in_dim)
             } else if let Some(planner) = &self.planner {
                 self.cfg.budget.check(planner.planned_bytes(&need_agg))?;
-                aggregate_roots_preadmitted(
+                aggregate_roots_preadmitted_quant(
                     &self.graph,
                     &self.feats,
                     m,
@@ -315,15 +339,21 @@ impl Server {
                     &self.cfg.budget,
                 )?
             } else {
-                aggregate_roots(&self.graph, &self.feats, m, &need_agg, &self.cfg.budget)?
+                aggregate_roots_quant(&self.graph, &self.feats, m, &need_agg, &self.cfg.budget)?
             };
+            // Quantized serving rounds aggregations to their bf16
+            // cache-storage form *before* first use, so warm hits and
+            // cold computes feed identical bits downstream (identity
+            // under f32).
+            cache_round_inplace(self.cfg.quant, &mut fresh);
             // Assemble x_v + a_v rows for every pending vertex, cached
             // aggregations and fresh ones alike.
             let mut summed = Tensor::zeros(pending.len(), m.in_dim);
+            let mut x = vec![0.0f32; m.in_dim];
             let mut fresh_i = 0usize;
             let mut fresh_by_vertex: Vec<(u32, usize)> = Vec::new();
             for (i, &v) in pending.iter().enumerate() {
-                let x = self.feats.row(v as usize);
+                self.feats.copy_row_into(v as usize, &mut x);
                 let row = summed.row_mut(i);
                 match &agg_rows[i] {
                     Some(a) => {
@@ -341,7 +371,9 @@ impl Server {
                     }
                 }
             }
-            let outputs = dense_head(&summed, snap);
+            // Already bf16-rounded at the output under quant configs —
+            // its cache-storage form.
+            let outputs = dense_head_quant(&summed, snap);
             // Fill both cache layers for the next batch.
             let mut cache = self.cache.lock().expect("cache lock");
             for &(v, i) in &fresh_by_vertex {
@@ -407,12 +439,15 @@ impl Server {
 
     /// Emits the current window's counters as one `serve` trace line
     /// (no-op without an active `FLEXGRAPH_TRACE` session) and starts a
-    /// fresh window. Returns the emitted record.
+    /// fresh window. The record carries the server's quant label so
+    /// mixed-precision fleets stay distinguishable in merged traces.
+    /// Returns the emitted record.
     pub fn emit_trace_window(&self) -> ServeRecord {
-        let rec = {
+        let mut rec = {
             let mut w = self.window.lock().expect("window lock");
             std::mem::take(&mut *w)
         };
+        rec.quant = self.cfg.quant.code();
         flexgraph_obs::emit_serve(&rec);
         rec
     }
@@ -443,8 +478,29 @@ mod tests {
             },
             cache_bytes,
             budget: MemoryBudget::unlimited(),
+            quant: QuantConfig::F32,
         };
         let snap = ModelSnapshot::init(&cfg.model, 42);
+        Server::new(ds.graph, ds.features, cfg, snap)
+    }
+
+    fn make_quant_server(quant: QuantConfig) -> Server {
+        let ds = community(80, 3, 5, 1, 8, 3);
+        let cfg = ServerConfig {
+            batcher: BatcherConfig {
+                max_batch: 4,
+                max_delay: 8,
+                queue_cap: 64,
+            },
+            model: ServeModelConfig {
+                in_dim: ds.feature_dim(),
+                classes: ds.num_classes,
+                ..Default::default()
+            },
+            quant,
+            ..Default::default()
+        };
+        let snap = ModelSnapshot::init_quant(&cfg.model, 42, quant);
         Server::new(ds.graph, ds.features, cfg, snap)
     }
 
@@ -542,6 +598,61 @@ mod tests {
         }
         assert_eq!(s.window_stats().rejected, 1);
         assert_eq!(s.queue_depth(), 0, "shed requests are not requeued");
+    }
+
+    #[test]
+    fn quant_servers_use_bf16_cache_and_stay_warm_cold_bitwise() {
+        for quant in [QuantConfig::Bf16, QuantConfig::Int8] {
+            let s = make_quant_server(quant);
+            for _ in 0..2 {
+                s.submit(5).unwrap();
+                s.submit(6).unwrap();
+            }
+            let first = s.flush().unwrap();
+            assert!(first.iter().take(2).all(|r| !r.cache_hit));
+            s.submit(5).unwrap();
+            s.submit(6).unwrap();
+            let second = s.flush().unwrap();
+            assert!(second.iter().all(|r| r.cache_hit));
+            // A warm hit returns exactly the bits the cold compute
+            // produced: outputs are bf16-rounded before caching, so the
+            // half-width store is lossless for them.
+            assert_eq!(
+                second[0]
+                    .output
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                first[0]
+                    .output
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+            // Trace windows carry the precision label.
+            s.submit(5).unwrap();
+            s.flush().unwrap();
+            assert_eq!(s.emit_trace_window().quant, quant.code());
+        }
+    }
+
+    #[test]
+    fn swap_requantizes_checkpoint_under_server_precision() {
+        let s = make_quant_server(QuantConfig::Int8);
+        s.submit(7).unwrap();
+        let before = s.flush().unwrap();
+        // Swap in a differently-initialized checkpoint; the snapshot
+        // must re-derive int8 weights (same precision as the server),
+        // and serving continues at version 2 with different outputs.
+        let other = ModelSnapshot::init(&s.config().model, 43);
+        let bytes = flexgraph_models::checkpoint::save(other.params());
+        assert_eq!(s.swap_checkpoint(&bytes).unwrap(), 2);
+        assert_eq!(s.snapshot().quant_config(), QuantConfig::Int8);
+        s.submit(7).unwrap();
+        let after = s.flush().unwrap();
+        assert_eq!(after[0].model_version, 2);
+        assert!(!after[0].cache_hit, "version flip invalidates warm rows");
+        assert_ne!(after[0].output, before[0].output);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Quantized-accuracy suite (ISSUE 8): the bf16/int8 serving forward
+//! against f32 on the golden fixtures.
+//!
+//! Two kinds of statement:
+//!
+//! * **Exactness** — the golden fixtures ([`flexgraph_models::golden`])
+//!   were built so every intermediate value fits in ≤ 8 mantissa bits.
+//!   On them, a correct bf16 pipeline is *bit-identical* to f32; any
+//!   drift is a kernel bug, not rounding.
+//! * **Bounded error** — with random (Xavier) weights, where rounding
+//!   is real, the bf16 and int8 forwards must stay within a small
+//!   multiple of the output magnitude. The bounds are deliberately
+//!   loose (4–8× observed) so they gate against broken kernels, not
+//!   against legitimate rounding.
+//!
+//! Plus the per-config determinism leg in unit form: the quantized
+//! `serve_one` is bitwise thread-invariant.
+
+use flexgraph_engine::hybrid::AggrOp;
+use flexgraph_engine::MemoryBudget;
+use flexgraph_models::checkpoint;
+use flexgraph_models::golden::{gcn_weights, graph_a, graph_cycle};
+use flexgraph_serve::{serve_one, ModelSnapshot, QuantConfig, ServeModelConfig};
+use flexgraph_tensor::{set_thread_override, ParamSet};
+
+const INIT_SEED: u64 = 21;
+
+fn golden_model() -> ServeModelConfig {
+    ServeModelConfig {
+        hops: 2,
+        cap: 0, // uncapped: exact shells, exact sums
+        seed: 0,
+        op: AggrOp::Sum,
+        in_dim: 2,
+        hidden: 2,
+        classes: 2,
+    }
+}
+
+/// A snapshot at `quant` holding the golden GCN's hand-chosen integer
+/// weights (restored via a checkpoint, the same path hot swap takes).
+fn golden_snapshot(quant: QuantConfig) -> ModelSnapshot {
+    let (w1, w2) = gcn_weights();
+    let mut params = ParamSet::new();
+    params.register(w1);
+    params.register(w2);
+    let bytes = checkpoint::save(&params);
+    ModelSnapshot::init_quant(&golden_model(), INIT_SEED, quant)
+        .with_checkpoint(&bytes)
+        .expect("golden checkpoint restores")
+}
+
+#[test]
+fn bf16_forward_is_bit_exact_on_golden_fixtures() {
+    let model = golden_model();
+    let budget = MemoryBudget::unlimited();
+    let f32_snap = golden_snapshot(QuantConfig::F32);
+    let bf16_snap = golden_snapshot(QuantConfig::Bf16);
+    for ds in [graph_a(), graph_cycle()] {
+        for v in 0..ds.graph.num_vertices() as u32 {
+            let full = serve_one(&ds.graph, &ds.features, &f32_snap, &model, v, &budget).unwrap();
+            let half = serve_one(&ds.graph, &ds.features, &bf16_snap, &model, v, &budget).unwrap();
+            assert_eq!(
+                full.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                half.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{}: vertex {v} bf16 != f32 on exact-arithmetic fixture (f32 {full:?}, bf16 {half:?})",
+                ds.name
+            );
+        }
+    }
+}
+
+#[test]
+fn quant_error_is_bounded_with_random_weights() {
+    // Xavier weights make rounding real; the served outputs must stay
+    // within a bounded distance of f32. Bounds are relative to the
+    // largest |output| so they track the fixture's scale.
+    let model = golden_model();
+    let budget = MemoryBudget::unlimited();
+    let f32_snap = ModelSnapshot::init(&model, INIT_SEED);
+    for (quant, rel_bound) in [(QuantConfig::Bf16, 0.05), (QuantConfig::Int8, 0.20)] {
+        let q_snap = ModelSnapshot::init_quant(&model, INIT_SEED, quant);
+        for ds in [graph_a(), graph_cycle()] {
+            let mut max_err = 0.0f32;
+            let mut max_out = 0.0f32;
+            for v in 0..ds.graph.num_vertices() as u32 {
+                let full =
+                    serve_one(&ds.graph, &ds.features, &f32_snap, &model, v, &budget).unwrap();
+                let q = serve_one(&ds.graph, &ds.features, &q_snap, &model, v, &budget).unwrap();
+                for (a, b) in full.iter().zip(&q) {
+                    max_err = max_err.max((a - b).abs());
+                    max_out = max_out.max(a.abs());
+                }
+            }
+            let bound = rel_bound * max_out.max(1.0);
+            assert!(
+                max_err <= bound,
+                "{}: {} max_abs_err {max_err} exceeds {bound} (max |out| {max_out})",
+                ds.name,
+                quant.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn quantized_serve_one_is_thread_invariant() {
+    let ds = flexgraph_graph::gen::community(120, 3, 6, 2, 16, 5);
+    let model = ServeModelConfig {
+        in_dim: ds.feature_dim(),
+        classes: ds.num_classes,
+        ..Default::default()
+    };
+    let budget = MemoryBudget::unlimited();
+    for quant in [QuantConfig::Bf16, QuantConfig::Int8] {
+        let snap = ModelSnapshot::init_quant(&model, INIT_SEED, quant);
+        let mut per_thread: Vec<Vec<Vec<u32>>> = Vec::new();
+        for threads in [1usize, 4] {
+            set_thread_override(Some(threads));
+            per_thread.push(
+                (0..ds.graph.num_vertices() as u32)
+                    .map(|v| {
+                        serve_one(&ds.graph, &ds.features, &snap, &model, v, &budget)
+                            .unwrap()
+                            .iter()
+                            .map(|x| x.to_bits())
+                            .collect()
+                    })
+                    .collect(),
+            );
+        }
+        set_thread_override(None);
+        assert_eq!(
+            per_thread[0],
+            per_thread[1],
+            "{} serve_one must not depend on FLEXGRAPH_THREADS",
+            quant.label()
+        );
+    }
+}

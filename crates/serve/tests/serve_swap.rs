@@ -27,6 +27,7 @@ fn make_server() -> (Server, ServeModelConfig) {
         model,
         cache_bytes: 1 << 20,
         budget: MemoryBudget::unlimited(),
+        ..Default::default()
     };
     let snap = ModelSnapshot::init(&model, INIT_SEED);
     (Server::new(ds.graph, ds.features, cfg, snap), model)

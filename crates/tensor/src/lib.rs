@@ -37,6 +37,7 @@ pub mod fusion;
 pub mod init;
 pub mod optim;
 pub mod par;
+pub mod quant;
 pub mod scatter;
 pub mod simd;
 pub mod tensor;
@@ -46,6 +47,7 @@ pub use fusion::{segment_reduce, Reduce};
 pub use init::xavier_uniform;
 pub use optim::{Adam, Optimizer, ParamSet, Sgd};
 pub use par::{num_threads, pool_worker_count, set_thread_override};
+pub use quant::{Bf16Tensor, QInt8Cols, QInt8Rows, QuantConfig};
 pub use scatter::{
     gather_rows, scatter_add, scatter_add_gathered_into, scatter_add_with_plan, scatter_max,
     scatter_max_with_plan, scatter_mean, scatter_mean_with_plan, scatter_min,
