@@ -1,0 +1,176 @@
+//! Multi-tenant replicated-serving benchmark and CI determinism gate
+//! (ISSUE 9). Drives a fixed multi-tenant workload — three tenants of
+//! mixed precision, interleaved submissions, a rolling checkpoint swap
+//! per tenant — through the replicated tier at 2 and 3 replicas, plus
+//! a crash-chaos leg, and asserts:
+//!
+//! * the canonical transcript is **byte-identical** across replica
+//!   counts and across the chaos leg (no lost, duplicated, or
+//!   version-mixed response);
+//! * every admitted request was answered.
+//!
+//! With `FLEXGRAPH_TRACE` set, each leg emits per-tenant `tser` trace
+//! windows; CI runs the binary twice and byte-compares the trace files
+//! (threads 1 vs 4 matrix on top). Stdout reports deterministic
+//! workload counts plus wall-clock throughput (timing lines are
+//! prefixed `time:` so the deterministic part is grep-able).
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25); thread count
+//! with `FLEXGRAPH_THREADS`.
+
+use flexgraph::comm::{ChaosSchedule, CrashPoint, RetryPolicy};
+use flexgraph::graph::gen::community;
+use flexgraph::obs;
+use flexgraph::serve::{
+    run_tier, BatcherConfig, QuantConfig, ServeModelConfig, ServerConfig, TenantQuota, TierConfig,
+    TierOp, TierTenant,
+};
+use flexgraph_bench::bench_scale;
+use std::time::{Duration, Instant};
+
+fn tenants(n: usize) -> Vec<TierTenant> {
+    [QuantConfig::F32, QuantConfig::Bf16, QuantConfig::Int8]
+        .into_iter()
+        .enumerate()
+        .map(|(i, quant)| {
+            let ds = community(n, 3, 4, 1, 8, 300 + i as u64);
+            let model = ServeModelConfig {
+                in_dim: ds.feature_dim(),
+                classes: ds.num_classes,
+                ..Default::default()
+            };
+            TierTenant {
+                tenant: 1 + i as u64,
+                graph: ds.graph,
+                feats: ds.features,
+                server: ServerConfig {
+                    batcher: BatcherConfig {
+                        max_batch: 4,
+                        max_delay: 5,
+                        queue_cap: 1 << 14,
+                    },
+                    model,
+                    quant,
+                    ..Default::default()
+                },
+                quota: TenantQuota {
+                    window_quota: 0,
+                    slo_vt: 8,
+                },
+                init_seed: 13,
+            }
+        })
+        .collect()
+}
+
+fn workload(n: u32, requests: usize) -> Vec<TierOp> {
+    let mut ops = Vec::new();
+    for i in 0..requests as u32 {
+        let tenant = 1 + (i as u64 % 3);
+        ops.push(TierOp::Submit {
+            tenant,
+            vertex: (i.wrapping_mul(2654435761)) % n,
+        });
+        if i % 6 == 5 {
+            ops.push(TierOp::Idle { tenant, ticks: 2 });
+        }
+        if i as usize == requests / 3 {
+            ops.push(TierOp::Swap {
+                tenant: 1,
+                checkpoint_seed: 900,
+            });
+        }
+        if i as usize == requests / 2 {
+            ops.push(TierOp::Swap {
+                tenant: 2,
+                checkpoint_seed: 901,
+            });
+        }
+    }
+    ops
+}
+
+fn config(replicas: usize, chaos: ChaosSchedule) -> TierConfig {
+    TierConfig {
+        replicas,
+        retry: RetryPolicy {
+            patience: Duration::from_millis(500),
+            ..RetryPolicy::snappy()
+        },
+        chaos,
+        max_recoveries: 1,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    obs::init_env_trace();
+    let scale = bench_scale().0;
+    let n = ((400.0 * scale) as usize).max(60);
+    let requests = (n * 2).max(90);
+    let ts = tenants(n);
+    let ops = workload(n as u32, requests);
+
+    // Leg 1: fault-free reference at 2 replicas.
+    let t0 = Instant::now();
+    let reference = run_tier(&ts, &ops, &config(2, ChaosSchedule::default()));
+    let s_ref = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        reference.responses.len(),
+        requests,
+        "an admitted request was lost"
+    );
+
+    // Leg 2: 3 replicas must serve the identical bytes.
+    let t0 = Instant::now();
+    let wide = run_tier(&ts, &ops, &config(3, ChaosSchedule::default()));
+    let s_wide = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        wide.transcript, reference.transcript,
+        "transcript varies with replica count"
+    );
+
+    // Leg 3: a replica crash mid-stream must be invisible in the bytes.
+    let chaos = ChaosSchedule {
+        seed: 5,
+        crash: Some(CrashPoint {
+            rank: 2,
+            at_send: 3,
+        }),
+        ..ChaosSchedule::default()
+    };
+    let t0 = Instant::now();
+    let chaotic = run_tier(&ts, &ops, &config(2, chaos));
+    let s_chaos = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        chaotic.transcript, reference.transcript,
+        "transcript diverged under replica-crash chaos"
+    );
+
+    // Deterministic summary (grep-able by CI), then timing.
+    println!(
+        "serve_mt: tenants={} requests={} responses={} transcript_lines={}",
+        ts.len(),
+        requests,
+        reference.responses.len(),
+        reference.transcript.len()
+    );
+    for w in &reference.windows {
+        println!(
+            "serve_mt: tenant={} served={} slo_violations={} quota_rejected={}",
+            w.tenant, w.serve.served, w.slo_violations, w.quota_rejected
+        );
+    }
+    println!(
+        "serve_mt: chaos_recoveries={} replica_count_invariant=true chaos_invariant=true",
+        chaotic.recoveries
+    );
+    println!(
+        "time: ref_2r={:.3}s wide_3r={:.3}s chaos={:.3}s req_per_s={:.1}",
+        s_ref,
+        s_wide,
+        s_chaos,
+        requests as f64 / s_ref
+    );
+    obs::finish_trace();
+}

@@ -28,6 +28,9 @@ fn main() {
                                                                       // Serving windows in trace order, plus the merged totals.
     let mut serve_windows: Vec<(u64, obs::ServeRecord, u64, u64)> = Vec::new();
     let mut serve_total = obs::ServeRecord::default();
+    // Per-tenant serving windows (multi-tenant tier), keyed by tenant.
+    let mut tenant_windows: BTreeMap<u64, obs::TenantServeRecord> = BTreeMap::new();
+    let mut tenant_window_count = 0usize;
     for (i, line) in text.lines().enumerate() {
         match obs::parse_line(line) {
             Ok(TraceLine::Meta { version, wall }) => {
@@ -54,6 +57,13 @@ fn main() {
             }) => {
                 serve_total.merge(&record);
                 serve_windows.push((vt, record, p50, p99));
+            }
+            Ok(TraceLine::TenantServe { record, .. }) => {
+                tenant_window_count += 1;
+                tenant_windows
+                    .entry(record.tenant)
+                    .and_modify(|t| t.merge(&record))
+                    .or_insert(record);
             }
             Err(e) => panic!("line {}: schema violation: {e}", i + 1),
         }
@@ -167,8 +177,33 @@ fn main() {
         );
     }
 
-    if epochs.is_empty() && serve_windows.is_empty() {
-        println!("(no epoch or serve records)");
+    if !tenant_windows.is_empty() {
+        println!(
+            "\nmulti-tenant: {} windows over {} tenants (merged per tenant)",
+            tenant_window_count,
+            tenant_windows.len()
+        );
+        println!(
+            "{:>7} {:>8} {:>8} {:>8} {:>11} {:>8} {:>9} {:>9}",
+            "tenant", "served", "quota_x", "slo_x", "cache(h/m)", "quant", "lat_p50", "lat_p99"
+        );
+        for (tenant, t) in &tenant_windows {
+            println!(
+                "{:>7} {:>8} {:>8} {:>8} {:>11} {:>8} {:>9} {:>9}",
+                tenant,
+                t.serve.served,
+                t.quota_rejected,
+                t.slo_violations,
+                format!("{}/{}", t.serve.cache_hits, t.serve.cache_misses),
+                t.serve.quant,
+                t.serve.latency.quantile_bound(50),
+                t.serve.latency.quantile_bound(99),
+            );
+        }
+    }
+
+    if epochs.is_empty() && serve_windows.is_empty() && tenant_windows.is_empty() {
+        println!("(no epoch, serve, or tenant records)");
     }
 }
 

@@ -35,8 +35,9 @@ pub mod stats;
 
 pub use chaos::{ChaosSchedule, CrashPoint};
 pub use codec::{
-    decode_rows, decode_rows_with, encode_flat_rows, encode_rows, try_decode_rows,
-    try_decode_rows_with, DecodeError,
+    decode_rows, decode_rows_with, decode_serve_frame, encode_flat_rows, encode_rows,
+    try_decode_rows, try_decode_rows_with, try_decode_serve_frame, DecodeError, ServeFrame,
+    ServeFrameError,
 };
 pub use det::{
     fnv1a, EventWheel, FlakyRack, LinkSpec, NetProfile, SimConfig, SimTask, Straggler, TaskCtx,

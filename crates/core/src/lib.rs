@@ -73,9 +73,10 @@ pub mod prelude {
     pub use flexgraph_models::{
         EpochStats, GGcn, Gcn, Gin, JkNet, Magnn, Model, Pgnn, PinSage, TrainConfig, Trainer,
     };
-    pub use flexgraph_obs::{PartitionRecord, ServeRecord, Stage, TraceEpoch};
+    pub use flexgraph_obs::{PartitionRecord, ServeRecord, Stage, TenantServeRecord, TraceEpoch};
     pub use flexgraph_serve::{
-        ModelSnapshot, Response, ServeError, ServeModelConfig, Server, ServerConfig,
+        ModelSnapshot, Response, Router, ServeError, ServeModelConfig, Server, ServerConfig,
+        ShardMap, TenantQuota, TierConfig, TierTenant,
     };
     pub use flexgraph_tensor::{Graph as AutogradGraph, Tensor};
 }

@@ -32,7 +32,7 @@ pub mod trace;
 
 pub use record::{
     CommCounters, FabricCounters, LatencyHistogram, PartitionRecord, ServeRecord, Stage,
-    StageSample, TraceEpoch, LATENCY_BUCKETS,
+    StageSample, TenantServeRecord, TraceEpoch, LATENCY_BUCKETS,
 };
 pub use trace::{parse_line, TraceLine, TRACE_VERSION};
 
@@ -251,6 +251,22 @@ pub fn emit_serve(rec: &ServeRecord) {
     let Some(s) = guard.as_mut() else { return };
     let vt = s.next_vt();
     let line = trace::render_serve(vt, rec);
+    s.line(&line);
+    if let Some(w) = s.out.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Writes one tenant's serving window to the active trace session as a
+/// `tser` line. No-op when no session is open.
+pub fn emit_tenant_serve(rec: &TenantServeRecord) {
+    if !trace_active() {
+        return;
+    }
+    let mut guard = SESSION.lock().unwrap();
+    let Some(s) = guard.as_mut() else { return };
+    let vt = s.next_vt();
+    let line = trace::render_tenant_serve(vt, rec);
     s.line(&line);
     if let Some(w) = s.out.as_mut() {
         let _ = w.flush();

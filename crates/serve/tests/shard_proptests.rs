@@ -1,0 +1,148 @@
+//! Property tests for the consistent-hash shard map (ISSUE 9,
+//! satellite 4): minimal key movement on replica add/remove, and
+//! determinism for a fixed seed.
+
+use flexgraph_serve::ShardMap;
+use proptest::prelude::*;
+
+/// An arbitrary replica id set: `count` distinct ids derived from raw
+/// draws (dedup by construction — ids are spread by index).
+fn arb_replicas(min: usize) -> impl Strategy<Value = Vec<u64>> {
+    (
+        proptest::collection::vec(0u64..100, min..9),
+        0u64..1_000_000,
+    )
+        .prop_map(|(raw, salt)| {
+            raw.iter()
+                .enumerate()
+                .map(|(i, r)| r + salt % 7 + 100 * i as u64)
+                .collect()
+        })
+}
+
+/// Slots comfortably above the max replica count.
+fn arb_slots() -> impl Strategy<Value = usize> {
+    16usize..257
+}
+
+/// The owner of every key in a fixed probe set.
+fn owners_of(m: &ShardMap, keys: u32) -> Vec<u64> {
+    (0..keys)
+        .map(|v| m.owner_of(ShardMap::key_of(7, v)))
+        .collect()
+}
+
+fn spread(m: &ShardMap) -> usize {
+    let counts = m.counts();
+    counts.values().max().unwrap() - counts.values().min().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The map is a pure function of `(seed, slots, replica set)` —
+    /// and insensitive to the order replicas are listed in.
+    #[test]
+    fn map_is_deterministic_for_fixed_seed(
+        seed in 0u64..1_000_000,
+        slots in arb_slots(),
+        replicas in arb_replicas(1),
+    ) {
+        let a = ShardMap::new(seed, slots, &replicas);
+        let b = ShardMap::new(seed, slots, &replicas);
+        prop_assert_eq!(&a, &b);
+        let mut shuffled = replicas.clone();
+        shuffled.reverse();
+        prop_assert_eq!(&a, &ShardMap::new(seed, slots, &shuffled));
+    }
+
+    /// Initial layouts are balanced: owner counts differ by at most 1,
+    /// and every replica owns at least one slot.
+    #[test]
+    fn initial_layout_is_balanced(
+        seed in 0u64..1_000_000,
+        slots in arb_slots(),
+        replicas in arb_replicas(1),
+    ) {
+        let m = ShardMap::new(seed, slots, &replicas);
+        prop_assert_eq!(m.counts().len(), replicas.len());
+        prop_assert!(spread(&m) <= 1, "unbalanced: {:?}", m.counts());
+    }
+
+    /// Adding a replica moves at most `ceil(slots / replicas_after)`
+    /// slots, every moved slot lands on the newcomer, and the map ends
+    /// balanced.
+    #[test]
+    fn add_replica_moves_at_most_fair_share(
+        seed in 0u64..1_000_000,
+        slots in arb_slots(),
+        replicas in arb_replicas(1),
+        newcomer in 10_000u64..20_000,
+    ) {
+        let mut m = ShardMap::new(seed, slots, &replicas);
+        let before: Vec<u64> = (0..m.slots()).map(|s| m.owner_of_slot(s)).collect();
+        let moved = m.add_replica(newcomer);
+        let r_after = replicas.len() + 1;
+        prop_assert!(
+            moved <= slots.div_ceil(r_after),
+            "moved {} > ceil({}/{})", moved, slots, r_after
+        );
+        let mut observed_moves = 0usize;
+        for (s, &was) in before.iter().enumerate() {
+            let now = m.owner_of_slot(s);
+            if now != was {
+                prop_assert_eq!(now, newcomer, "slot moved to a non-joining replica");
+                observed_moves += 1;
+            }
+        }
+        prop_assert_eq!(observed_moves, moved);
+        prop_assert!(spread(&m) <= 1, "post-add unbalanced: {:?}", m.counts());
+    }
+
+    /// Removing a replica moves exactly its own slots — at most
+    /// `ceil(slots / replicas_before)` from a balanced map — and a key
+    /// changes owner only if its slot belonged to the departed.
+    #[test]
+    fn remove_replica_moves_only_the_departed_shard(
+        seed in 0u64..1_000_000,
+        slots in arb_slots(),
+        replicas in arb_replicas(2),
+        pick in 0usize..1000,
+    ) {
+        let mut m = ShardMap::new(seed, slots, &replicas);
+        let victim = replicas[pick % replicas.len()];
+        let owned_before = m.counts()[&victim];
+        let keys_before = owners_of(&m, 300);
+        let slots_before: Vec<u64> = (0..m.slots()).map(|s| m.owner_of_slot(s)).collect();
+        let moved = m.remove_replica(victim);
+        prop_assert_eq!(moved, owned_before);
+        prop_assert!(moved <= slots.div_ceil(replicas.len()));
+        prop_assert!(!m.replicas().contains(&victim));
+        let keys_after = owners_of(&m, 300);
+        for (v, (&a, &b)) in keys_before.iter().zip(&keys_after).enumerate() {
+            let slot = m.slot_of(ShardMap::key_of(7, v as u32));
+            if slots_before[slot] == victim {
+                prop_assert!(b != victim, "key still routed to removed replica");
+            } else {
+                prop_assert_eq!(a, b, "key moved although its slot did not");
+            }
+        }
+    }
+
+    /// Add followed by remove of the same id restores the survivor set
+    /// and balance (the layout may differ slot-by-slot — orphans go to
+    /// the smallest owners, not necessarily their previous ones).
+    #[test]
+    fn add_then_remove_restores_survivors_and_balance(
+        seed in 0u64..1_000_000,
+        slots in arb_slots(),
+        replicas in arb_replicas(1),
+    ) {
+        let m0 = ShardMap::new(seed, slots, &replicas);
+        let mut m = m0.clone();
+        m.add_replica(50_000);
+        m.remove_replica(50_000);
+        prop_assert_eq!(m.replicas(), m0.replicas());
+        prop_assert!(spread(&m) <= 1);
+    }
+}

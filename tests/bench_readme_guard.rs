@@ -1,0 +1,94 @@
+//! README ↔ `BENCH_serve.json` drift guard (ISSUE 9, satellite 1).
+//!
+//! The README quotes concrete numbers from the committed
+//! `BENCH_serve.json` (micro-batching speedup, warm-cache speedup,
+//! quantized max-abs errors, cache-budget hit rates). Those claims rot
+//! silently when the bench is re-run and the JSON re-committed — this
+//! test recomputes each claim string *from the JSON* and greps the
+//! README for it, so a number changing in one place and not the other
+//! fails CI instead of misleading a reader.
+//!
+//! Parsing is the workspace's hand-rolled style (no serde): scan for
+//! `"key":` and read the following number.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    // The `flexgraph` package lives at crates/core; the committed
+    // artifacts sit at the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The number following the first occurrence of `"key":` after
+/// `from`, plus the offset just past it.
+fn num_after(s: &str, key: &str, from: usize) -> (f64, usize) {
+    let needle = format!("\"{key}\":");
+    let at = s[from..]
+        .find(&needle)
+        .unwrap_or_else(|| panic!("BENCH_serve.json has no `{key}` after offset {from}"));
+    let start = from + at + needle.len();
+    let rest = s[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    let v = rest[..end]
+        .parse::<f64>()
+        .unwrap_or_else(|e| panic!("bad number for `{key}`: {e}"));
+    (v, start)
+}
+
+/// The value of `key` inside the quant row named `name`.
+fn quant_field(s: &str, name: &str, key: &str) -> f64 {
+    let row = s
+        .find(&format!("\"name\": \"{name}\""))
+        .unwrap_or_else(|| panic!("BENCH_serve.json has no quant row `{name}`"));
+    num_after(s, key, row).0
+}
+
+fn assert_claimed(readme: &str, claim: &str, what: &str) {
+    assert!(
+        readme.contains(claim),
+        "README no longer claims `{claim}` ({what}) — it drifted from the \
+         committed BENCH_serve.json; update whichever side is stale"
+    );
+}
+
+#[test]
+fn readme_serve_claims_match_committed_bench_json() {
+    let root = repo_root();
+    let json =
+        std::fs::read_to_string(root.join("BENCH_serve.json")).expect("committed BENCH_serve.json");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+
+    // Micro-batching and warm-cache headline wins, as the README
+    // rounds them: 2 decimals and 1 decimal respectively.
+    let (micro, _) = num_after(&json, "microbatch_speedup", 0);
+    assert_claimed(&readme, &format!("{micro:.2}×"), "microbatch_speedup");
+    let (warm, _) = num_after(&json, "warm_cache_speedup", 0);
+    assert_claimed(&readme, &format!("{warm:.1}×"), "warm_cache_speedup");
+
+    // Quantized max-abs errors, 3 decimals: "bf16 0.254, int8 0.567".
+    let bf16_err = quant_field(&json, "bf16", "max_abs_err");
+    let int8_err = quant_field(&json, "int8", "max_abs_err");
+    assert_claimed(
+        &readme,
+        &format!("bf16 {bf16_err:.3}, int8 {int8_err:.3}"),
+        "quant max_abs_err",
+    );
+
+    // Cache-budget hit rates, 2 decimals: "0.63 vs 0.35".
+    let (f32_rate, _) = num_after(&json, "f32_warm_hit_rate", 0);
+    let (bf16_rate, _) = num_after(&json, "bf16_warm_hit_rate", 0);
+    assert_claimed(
+        &readme,
+        &format!("{bf16_rate:.2} vs {f32_rate:.2}"),
+        "cache_budget hit rates",
+    );
+
+    // The bench's own parity gate must still be committed as passing.
+    let bitwise = json.find("\"bitwise_identical\": true").is_some();
+    assert!(
+        bitwise,
+        "committed BENCH_serve.json no longer records bitwise_identical: true"
+    );
+}

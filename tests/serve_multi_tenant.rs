@@ -1,0 +1,166 @@
+//! Multi-tenant isolation (ISSUE 9, satellite 2): any interleaving of
+//! N tenants' requests through one [`Router`] yields per-tenant
+//! response transcripts **bitwise equal** to running each tenant alone
+//! through its own [`Server`] — under `FLEXGRAPH_THREADS ∈ {1, 4}`,
+//! and byte-identical across the two thread counts.
+//!
+//! Tenants are fully isolated by construction (each server owns its
+//! graph, features, cache, batcher, and snapshot chain); this test
+//! pins that down against regressions: no shared clock, no shared
+//! cache, no cross-tenant perturbation of batching or bits.
+
+use flexgraph_serve::{
+    BatcherConfig, ModelSnapshot, QuantConfig, Response, Router, ServeModelConfig, Server,
+    ServerConfig, TenantQuota,
+};
+use flexgraph_tensor::set_thread_override;
+use proptest::prelude::*;
+
+const INIT_SEED: u64 = 77;
+
+#[derive(Clone, Debug)]
+struct TenantScenario {
+    n: usize,
+    graph_seed: u64,
+    hops: usize,
+    cap: usize,
+    max_batch: usize,
+    max_delay: u64,
+    quant: QuantConfig,
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    tenants: Vec<TenantScenario>,
+    /// (tenant index, vertex draw, idle ticks after the submission).
+    ops: Vec<(usize, u32, u64)>,
+}
+
+fn arb_tenant() -> impl Strategy<Value = TenantScenario> {
+    (
+        (30usize..70, 0u64..1000),
+        (1usize..3, 0usize..6),
+        (1usize..5, 0u64..6),
+        0usize..3,
+    )
+        .prop_map(
+            |((n, graph_seed), (hops, cap), (max_batch, max_delay), q)| TenantScenario {
+                n,
+                graph_seed,
+                hops,
+                cap,
+                max_batch,
+                max_delay,
+                quant: [QuantConfig::F32, QuantConfig::Bf16, QuantConfig::Int8][q],
+            },
+        )
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(arb_tenant(), 2..4),
+        proptest::collection::vec((0usize..4, 0u32..1000, 0u64..3), 4..40),
+    )
+        .prop_map(|(tenants, ops)| Scenario { tenants, ops })
+}
+
+fn build_server(t: &TenantScenario) -> Server {
+    let ds = flexgraph_graph::gen::community(t.n, 3, 3, 1, 6, t.graph_seed);
+    let model = ServeModelConfig {
+        hops: t.hops,
+        cap: t.cap,
+        in_dim: ds.feature_dim(),
+        classes: ds.num_classes,
+        ..Default::default()
+    };
+    let cfg = ServerConfig {
+        batcher: BatcherConfig {
+            max_batch: t.max_batch,
+            max_delay: t.max_delay,
+            queue_cap: 4096,
+        },
+        model,
+        quant: t.quant,
+        ..Default::default()
+    };
+    let snap = ModelSnapshot::init_quant(&model, INIT_SEED, t.quant);
+    Server::new(ds.graph, ds.features, cfg, snap)
+}
+
+/// Runs the interleaved workload through one router, polling the
+/// touched tenant after every op, and returns each tenant's responses
+/// in arrival order.
+fn run_interleaved(sc: &Scenario) -> Vec<Vec<Response>> {
+    let router = Router::new();
+    for (i, t) in sc.tenants.iter().enumerate() {
+        router
+            .attach(i as u64, build_server(t), TenantQuota::default())
+            .expect("fresh tenant id");
+    }
+    let mut out = vec![Vec::new(); sc.tenants.len()];
+    for &(pick, vertex, idle) in &sc.ops {
+        let tenant = pick % sc.tenants.len();
+        let v = vertex % sc.tenants[tenant].n as u32;
+        router.submit(tenant as u64, v).expect("admitted");
+        if idle > 0 {
+            router.tick(tenant as u64, idle).expect("attached");
+        }
+        out[tenant].extend(router.poll(tenant as u64).expect("poll"));
+    }
+    for (tenant, responses) in out.iter_mut().enumerate() {
+        responses.extend(router.flush(tenant as u64).expect("flush"));
+    }
+    out
+}
+
+/// Runs one tenant's op subsequence alone through a standalone server.
+fn run_solo(sc: &Scenario, tenant: usize) -> Vec<Response> {
+    let server = build_server(&sc.tenants[tenant]);
+    let mut out = Vec::new();
+    for &(pick, vertex, idle) in &sc.ops {
+        if pick % sc.tenants.len() != tenant {
+            continue;
+        }
+        let v = vertex % sc.tenants[tenant].n as u32;
+        server.submit(v).expect("admitted");
+        if idle > 0 {
+            server.tick(idle);
+        }
+        out.extend(server.poll().expect("poll"));
+    }
+    out.extend(server.flush().expect("flush"));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The isolation contract, swept over thread counts: interleaved
+    /// per-tenant transcripts == solo transcripts, and both are
+    /// byte-identical across `FLEXGRAPH_THREADS ∈ {1, 4}`.
+    #[test]
+    fn interleaving_never_perturbs_a_tenants_bits(sc in arb_scenario()) {
+        let mut per_thread: Vec<Vec<Vec<Response>>> = Vec::new();
+        for threads in [1usize, 4] {
+            set_thread_override(Some(threads));
+            let interleaved = run_interleaved(&sc);
+            for (tenant, transcript) in interleaved.iter().enumerate() {
+                let solo = run_solo(&sc, tenant);
+                prop_assert_eq!(
+                    transcript,
+                    &solo,
+                    "tenant {} transcript differs from solo run ({} threads)",
+                    tenant,
+                    threads
+                );
+            }
+            per_thread.push(interleaved);
+        }
+        set_thread_override(None);
+        prop_assert_eq!(
+            &per_thread[0],
+            &per_thread[1],
+            "multi-tenant transcript varies with thread count"
+        );
+    }
+}

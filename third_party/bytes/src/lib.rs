@@ -148,8 +148,14 @@ impl Buf for Bytes {
 
 /// Write cursor appending to a byte buffer.
 pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8);
+
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, n: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64);
 
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, x: f32);
@@ -159,7 +165,15 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    fn put_u8(&mut self, n: u8) {
+        self.buf.push(n);
+    }
+
     fn put_u32_le(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, n: u64) {
         self.buf.extend_from_slice(&n.to_le_bytes());
     }
 
