@@ -1,0 +1,309 @@
+//! Paged graph store benchmark: streamed R-MAT generation, raw segment
+//! scan, out-of-core forward under an 8×-over-budget page cache, and
+//! cold vs warm cache build times — with the out-of-core result checked
+//! bitwise against the in-RAM engine at 1 and 4 threads. Emits
+//! `BENCH_store.json` in the current directory.
+//!
+//! The headline claim is deterministic, not a throughput number: the
+//! store holds a graph whose decoded residency is ≥ 8× the page-cache
+//! budget, the forward pass completes under that fixed budget with
+//! evictions happening, and the output is bit-for-bit the in-RAM
+//! engine's. Throughputs (stream MB/s, scan MB/s, warm speedup) are
+//! whatever the host gives and are recorded as measured.
+//!
+//! Scale with `FLEXGRAPH_BENCH_SCALE` (default 0.25).
+//! `FLEXGRAPH_BENCH_STRICT=1` asserts the deterministic claims only:
+//! bitwise parity at every thread count, evictions under the tight
+//! budget, and the ≥ 8× residency-over-budget ratio.
+
+use flexgraph::engine::{hierarchical_aggregate, AggrOp, AggrPlan, MemoryBudget, Strategy};
+use flexgraph::graph::gen;
+use flexgraph::hdg::build::from_direct_neighbors;
+use flexgraph::store::{forward_out_of_core, rmat_to_store, Neighborhood, PagedGraph};
+use flexgraph::tensor::{set_thread_override, Tensor};
+use flexgraph_bench::bench_scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const EDGE_FACTOR: usize = 8;
+const DIM: usize = 16;
+const THREAD_SWEEP: [usize; 2] = [1, 4];
+
+/// Deterministic per-vertex feature row — the pure `feat_fn` both paths
+/// share, so neither ever materializes the full feature matrix unless
+/// it chooses to.
+fn feat_row(v: u32) -> Vec<f32> {
+    let mut state = (v as u64 ^ SEED).wrapping_mul(6364136223846793005);
+    (0..DIM)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) * 4.0 - 2.0
+        })
+        .collect()
+}
+
+/// Process peak resident set (`VmHWM`) in KiB, 0 where /proc is absent.
+fn vm_hwm_kb() -> u64 {
+    let Ok(s) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    s.lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+struct ThreadRow {
+    threads: usize,
+    forward_s: f64,
+    bitwise_identical: bool,
+    evictions: u64,
+    hit_rate: f64,
+}
+
+fn main() {
+    let scale = bench_scale().0;
+    let strict = std::env::var("FLEXGRAPH_BENCH_STRICT").as_deref() == Ok("1");
+    // 2^13 vertices at scale 1.0; floor 2^9 so the store always has
+    // enough segments for the budget story to mean something.
+    let rmat_scale = (13.0 + scale.log2()).round().max(9.0) as u32;
+    let n = 1u32 << rmat_scale;
+    // Narrow segments keep the hub-heavy low-id range from concentrating
+    // in one page, so the widest page stays well under total/8.
+    let segv = (n / 256).max(4);
+    let dir = std::env::temp_dir().join("flexgraph-store-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("bench-s{rmat_scale}.fgps"));
+
+    // 1. Streamed generation: R-MAT straight to segments, never holding
+    //    the edge list.
+    eprintln!(
+        "streaming R-MAT scale {rmat_scale} (ef {EDGE_FACTOR}) to {}...",
+        path.display()
+    );
+    let t0 = Instant::now();
+    let summary = rmat_to_store(&path, rmat_scale, EDGE_FACTOR, SEED, segv).expect("stream");
+    let stream_s = t0.elapsed().as_secs_f64();
+    let file_bytes = summary.store.bytes;
+    let stream_mb_s = file_bytes as f64 / 1e6 / stream_s;
+
+    // 2. Raw segment scan via the reader — no cache — which also prices
+    //    every segment's decoded residency.
+    let probe = PagedGraph::open(&path, MemoryBudget::unlimited()).expect("open");
+    let t0 = Instant::now();
+    let mut total_residency = 0usize;
+    let mut widest = 0usize;
+    let mut scanned_bytes = 0u64;
+    for sid in 0..probe.num_segments() {
+        let (seg, bytes) = probe.reader().read_segment(sid).expect("scan");
+        scanned_bytes += bytes;
+        total_residency += seg.residency_bytes();
+        widest = widest.max(seg.residency_bytes());
+    }
+    let scan_s = t0.elapsed().as_secs_f64();
+    let scan_mb_s = scanned_bytes as f64 / 1e6 / scan_s;
+
+    // 3. Out-of-core forward under a fixed budget ≥ 8× smaller than the
+    //    decoded graph, at 1 and 4 threads.
+    // The record builders pin one segment at a time, so `widest` is the
+    // hard floor; total/8 is the claimed ratio.
+    let budget = MemoryBudget {
+        bytes: (total_residency / 8).max(widest),
+    };
+    let ratio = total_residency as f64 / budget.bytes as f64;
+    let roots: Vec<u32> = (0..n).collect();
+    let plan = AggrPlan::flat(AggrOp::Sum);
+    let partition_size = (n as usize / 32).max(64);
+    let feat_fn = |v: u32| feat_row(v);
+    let mut ooc_results = Vec::new();
+    let mut rows = Vec::new();
+    for threads in THREAD_SWEEP {
+        set_thread_override(Some(threads));
+        let pg = PagedGraph::open(&path, budget).expect("open budgeted");
+        let t0 = Instant::now();
+        let got = forward_out_of_core(
+            &pg,
+            &roots,
+            &Neighborhood::Direct,
+            partition_size,
+            &feat_fn,
+            DIM,
+            &plan,
+            Strategy::SaFa,
+            &MemoryBudget::unlimited(),
+        )
+        .expect("out-of-core forward");
+        let forward_s = t0.elapsed().as_secs_f64();
+        set_thread_override(None);
+        let stats = pg.cache_stats();
+        rows.push(ThreadRow {
+            threads,
+            forward_s,
+            bitwise_identical: false, // Filled once the in-RAM answer exists.
+            evictions: stats.evictions,
+            hit_rate: stats.hit_rate(),
+        });
+        ooc_results.push(got.features);
+    }
+    let vm_hwm_ooc = vm_hwm_kb();
+
+    // 4. In-RAM baseline: materialize the same graph and features, run
+    //    the engine directly, and check the out-of-core outputs bitwise.
+    eprintln!("building in-RAM baseline...");
+    let ds = gen::rmat(rmat_scale, EDGE_FACTOR, 3, 4, SEED, "store-bench");
+    let g = &ds.graph;
+    let mut flat = Vec::with_capacity(n as usize * DIM);
+    for v in 0..n {
+        flat.extend_from_slice(&feat_row(v));
+    }
+    let feats = Tensor::from_vec(n as usize, DIM, flat);
+    set_thread_override(Some(1));
+    let hdg = from_direct_neighbors(g, roots.clone());
+    let t0 = Instant::now();
+    let want = hierarchical_aggregate(
+        &hdg,
+        &feats,
+        &plan,
+        Strategy::SaFa,
+        &MemoryBudget::unlimited(),
+    )
+    .expect("in-RAM forward");
+    let in_ram_forward_s = t0.elapsed().as_secs_f64();
+    set_thread_override(None);
+    for (row, got) in rows.iter_mut().zip(&ooc_results) {
+        row.bitwise_identical = got
+            .data()
+            .iter()
+            .zip(want.features.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+    let vm_hwm_total = vm_hwm_kb();
+    let in_ram_bytes = g.heap_bytes() + n as usize * DIM * 4;
+
+    // 5. Cold vs warm cache: same build+forward, unlimited budget, first
+    //    with an empty cache and then with every segment resident.
+    let pg = PagedGraph::open(&path, MemoryBudget::unlimited()).expect("open unlimited");
+    let t0 = Instant::now();
+    forward_out_of_core(
+        &pg,
+        &roots,
+        &Neighborhood::Direct,
+        partition_size,
+        &feat_fn,
+        DIM,
+        &plan,
+        Strategy::SaFa,
+        &MemoryBudget::unlimited(),
+    )
+    .expect("cold forward");
+    let cold_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    forward_out_of_core(
+        &pg,
+        &roots,
+        &Neighborhood::Direct,
+        partition_size,
+        &feat_fn,
+        DIM,
+        &plan,
+        Strategy::SaFa,
+        &MemoryBudget::unlimited(),
+    )
+    .expect("warm forward");
+    let warm_s = t0.elapsed().as_secs_f64();
+    drop(probe);
+    std::fs::remove_file(&path).ok();
+
+    let all_identical = rows.iter().all(|r| r.bitwise_identical);
+    let evicted = rows.iter().all(|r| r.evictions > 0);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"rmat_scale\": {rmat_scale},");
+    let _ = writeln!(json, "  \"vertices\": {n},");
+    let _ = writeln!(json, "  \"arcs\": {},", summary.store.num_arcs);
+    let _ = writeln!(json, "  \"file_bytes\": {file_bytes},");
+    let _ = writeln!(json, "  \"seg_vertices\": {segv},");
+    let _ = writeln!(json, "  \"segments\": {},", summary.store.num_segments);
+    let _ = writeln!(json, "  \"total_residency_bytes\": {total_residency},");
+    let _ = writeln!(json, "  \"budget_bytes\": {},", budget.bytes);
+    let _ = writeln!(json, "  \"residency_over_budget\": {ratio:.2},");
+    let _ = writeln!(json, "  \"stream_write_mb_s\": {stream_mb_s:.1},");
+    let _ = writeln!(json, "  \"segment_scan_mb_s\": {scan_mb_s:.1},");
+    let _ = writeln!(json, "  \"cold_build_s\": {cold_s:.4},");
+    let _ = writeln!(json, "  \"warm_build_s\": {warm_s:.4},");
+    let _ = writeln!(json, "  \"warm_speedup\": {:.3},", cold_s / warm_s);
+    let _ = writeln!(json, "  \"in_ram_forward_s\": {in_ram_forward_s:.4},");
+    let _ = writeln!(json, "  \"in_ram_bytes\": {in_ram_bytes},");
+    let _ = writeln!(json, "  \"vm_hwm_ooc_kb\": {vm_hwm_ooc},");
+    let _ = writeln!(json, "  \"vm_hwm_with_in_ram_kb\": {vm_hwm_total},");
+    let _ = writeln!(json, "  \"all_bitwise_identical\": {all_identical},");
+    json.push_str("  \"threads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"threads\": {}, \"forward_s\": {:.4}, \"bitwise_identical\": {}, \
+             \"evictions\": {}, \"hit_rate\": {:.4}}}",
+            r.threads, r.forward_s, r.bitwise_identical, r.evictions, r.hit_rate
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+
+    println!(
+        "store: {n} vertices, {} arcs, {} segments, {:.1} MB on disk",
+        summary.store.num_arcs,
+        summary.store.num_segments,
+        file_bytes as f64 / 1e6
+    );
+    println!("stream write: {stream_mb_s:.1} MB/s   segment scan: {scan_mb_s:.1} MB/s");
+    println!(
+        "residency {:.1} MB over budget {:.1} MB ({ratio:.1}x)",
+        total_residency as f64 / 1e6,
+        budget.bytes as f64 / 1e6
+    );
+    println!(
+        "{:>3}  {:>10}  {:>9}  {:>8}  bitwise",
+        "thr", "forward s", "evictions", "hit rate"
+    );
+    for r in &rows {
+        println!(
+            "{:>3}  {:>10.4}  {:>9}  {:>8.4}  {}",
+            r.threads,
+            r.forward_s,
+            r.evictions,
+            r.hit_rate,
+            if r.bitwise_identical {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    println!(
+        "cold {cold_s:.4}s vs warm {warm_s:.4}s ({:.2}x)   in-RAM forward {in_ram_forward_s:.4}s",
+        cold_s / warm_s
+    );
+    println!(
+        "peak RSS: {:.1} MB out-of-core, {:.1} MB once in-RAM baseline loaded; wrote BENCH_store.json",
+        vm_hwm_ooc as f64 / 1e3,
+        vm_hwm_total as f64 / 1e3
+    );
+    assert!(
+        all_identical,
+        "out-of-core forward drifted from the in-RAM engine"
+    );
+    if strict {
+        assert!(evicted, "tight budget produced no evictions");
+        assert!(
+            ratio >= 8.0,
+            "residency/budget ratio {ratio:.2} below the 8x claim"
+        );
+        println!("strict gate: bitwise at {THREAD_SWEEP:?} threads, evictions > 0, ratio >= 8x");
+    }
+}

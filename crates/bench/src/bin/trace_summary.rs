@@ -31,6 +31,9 @@ fn main() {
     // Per-tenant serving windows (multi-tenant tier), keyed by tenant.
     let mut tenant_windows: BTreeMap<u64, obs::TenantServeRecord> = BTreeMap::new();
     let mut tenant_window_count = 0usize;
+    // Page-cache (paged store) records in trace order, plus the merge.
+    let mut pgc_lines: Vec<(u64, obs::PageCacheRecord)> = Vec::new();
+    let mut pgc_total = obs::PageCacheRecord::default();
     for (i, line) in text.lines().enumerate() {
         match obs::parse_line(line) {
             Ok(TraceLine::Meta { version, wall }) => {
@@ -57,6 +60,10 @@ fn main() {
             }) => {
                 serve_total.merge(&record);
                 serve_windows.push((vt, record, p50, p99));
+            }
+            Ok(TraceLine::PageCache { vt, record }) => {
+                pgc_total.merge(&record);
+                pgc_lines.push((vt, record));
             }
             Ok(TraceLine::TenantServe { record, .. }) => {
                 tenant_window_count += 1;
@@ -202,8 +209,39 @@ fn main() {
         }
     }
 
-    if epochs.is_empty() && serve_windows.is_empty() && tenant_windows.is_empty() {
-        println!("(no epoch, serve, or tenant records)");
+    if !pgc_lines.is_empty() {
+        println!("\npage cache: {} records", pgc_lines.len());
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>9} {:>12} {:>12}",
+            "vt", "fetches", "hits", "evicted", "hit_rate", "read_bytes", "resident"
+        );
+        for (vt, r) in &pgc_lines {
+            println!(
+                "{:>6} {:>8} {:>8} {:>8} {:>9.4} {:>12} {:>12}",
+                vt,
+                r.fetches,
+                r.hits,
+                r.evictions,
+                r.hit_rate(),
+                r.bytes_read,
+                r.resident_bytes
+            );
+        }
+        println!(
+            "total: {} fetches, hit rate {:.1}%, {} evictions, {} bytes read (merged)",
+            pgc_total.fetches,
+            pgc_total.hit_rate() * 100.0,
+            pgc_total.evictions,
+            pgc_total.bytes_read
+        );
+    }
+
+    if epochs.is_empty()
+        && serve_windows.is_empty()
+        && tenant_windows.is_empty()
+        && pgc_lines.is_empty()
+    {
+        println!("(no epoch, serve, tenant, or page-cache records)");
     }
 }
 

@@ -50,6 +50,7 @@ pub use flexgraph_hdg as hdg;
 pub use flexgraph_models as models;
 pub use flexgraph_obs as obs;
 pub use flexgraph_serve as serve;
+pub use flexgraph_store as store;
 pub use flexgraph_tensor as tensor;
 
 /// The most commonly used items in one import.
@@ -77,6 +78,10 @@ pub mod prelude {
     pub use flexgraph_serve::{
         ModelSnapshot, Response, Router, ServeError, ServeModelConfig, Server, ServerConfig,
         ShardMap, TenantQuota, TierConfig, TierTenant,
+    };
+    pub use flexgraph_store::{
+        forward_out_of_core, rmat_to_store, write_graph, Neighborhood, PageCache, PagedGraph,
+        StoreError,
     };
     pub use flexgraph_tensor::{Graph as AutogradGraph, Tensor};
 }

@@ -41,6 +41,6 @@ pub use balance::{
 };
 pub use pipeline::{build_leaf_sync, LeafSync, SlotLevel};
 pub use runtime::{EpochRuntime, ThreadedRuntime, VirtualRuntime};
-pub use shard::{make_shards, Shard};
+pub use shard::{make_shards, make_shards_paged, Shard};
 pub use sim::{simulated_epoch, virtual_epoch, SimReport, VirtualEpochReport};
 pub use trainer::{distributed_epoch, DistConfig, DistMode, EpochReport};

@@ -8,6 +8,8 @@
 
 use flexgraph_graph::{Graph, Partitioning, VertexId};
 use flexgraph_hdg::Hdg;
+use flexgraph_store::ooc::{hdg_for, Neighborhood};
+use flexgraph_store::{PagedGraph, StoreError};
 use flexgraph_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -79,6 +81,57 @@ pub fn make_shards(
         .collect()
 }
 
+/// Carves shards out of a **paged** (out-of-core) graph: the structure
+/// stays on disk behind the store's page cache, each worker's HDG is
+/// built one shard at a time against it, and feature rows come from the
+/// pure `feat_fn` — nothing graph-sized is ever resident. Shards come
+/// out identical to [`make_shards`] over the rehydrated graph (same
+/// roots, same HDG arrays, same feature rows), since the paged HDG
+/// builders are record-identical to `hdg::build` — the property the
+/// `paged_store_parity` suite pins.
+///
+/// `graph` is left `None`: execution modes that need run-time
+/// neighborhood expansion should query the store instead of a
+/// replicated in-RAM graph.
+pub fn make_shards_paged(
+    pg: &PagedGraph,
+    part: &Partitioning,
+    nbr: &Neighborhood,
+    feat_fn: &dyn Fn(VertexId) -> Vec<f32>,
+    dim: usize,
+) -> Result<Vec<Shard>, StoreError> {
+    assert_eq!(
+        part.assignment.len(),
+        pg.num_vertices(),
+        "partitioning covers all vertices"
+    );
+    let owner: Arc<Vec<u32>> = Arc::new(part.assignment.clone());
+    part.members()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, roots)| {
+            let hdg = Arc::new(hdg_for(pg, roots.clone(), nbr)?);
+            let mut local = Tensor::zeros(roots.len(), dim);
+            let mut local_row = HashMap::with_capacity(roots.len());
+            for (i, &v) in roots.iter().enumerate() {
+                let row = feat_fn(v);
+                assert_eq!(row.len(), dim, "feat_fn returned a wrong-width row");
+                local.row_mut(i).copy_from_slice(&row);
+                local_row.insert(v, i as u32);
+            }
+            Ok(Shard {
+                rank,
+                roots,
+                hdg,
+                feats: local,
+                owner: owner.clone(),
+                local_row,
+                graph: None,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +158,42 @@ mod tests {
             }
             assert_eq!(s.hdg.num_roots(), s.roots.len());
         }
+    }
+
+    #[test]
+    fn paged_shards_match_in_ram_shards() {
+        let ds = flexgraph_graph::gen::rmat(6, 4, 3, 4, 17, "paged_shards");
+        let g = &ds.graph;
+        let dir = std::env::temp_dir().join("flexgraph-dist-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paged_shards.fgps");
+        flexgraph_store::write_graph(g, &path, 11).unwrap();
+        let pg = PagedGraph::open(&path, flexgraph_engine::MemoryBudget::unlimited()).unwrap();
+
+        let part = hash_partition(g, 4);
+        let in_ram = make_shards(g.num_vertices(), &ds.features, &part, |roots| {
+            from_direct_neighbors(g, roots.to_vec())
+        });
+        let feat_fn = |v: VertexId| ds.features.row(v as usize).to_vec();
+        let paged = make_shards_paged(
+            &pg,
+            &part,
+            &Neighborhood::Direct,
+            &feat_fn,
+            ds.features.cols(),
+        )
+        .unwrap();
+
+        assert_eq!(in_ram.len(), paged.len());
+        for (a, b) in in_ram.iter().zip(&paged) {
+            assert_eq!(a.roots, b.roots);
+            assert_eq!(a.feats.data(), b.feats.data(), "rank {}", a.rank);
+            assert_eq!(a.hdg.leaf_sources(), b.hdg.leaf_sources());
+            assert_eq!(a.hdg.inst_offsets(), b.hdg.inst_offsets());
+            assert_eq!(a.hdg.group_offsets(), b.hdg.group_offsets());
+            assert_eq!(a.owner, b.owner);
+            assert!(b.graph.is_none());
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

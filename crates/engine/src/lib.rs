@@ -33,7 +33,10 @@ pub mod minibatch;
 pub mod nau;
 
 pub use hybrid::{
-    hierarchical_aggregate, hierarchical_aggregate_quant, AggrOp, AggrPlan, LeafFeats, Strategy,
+    hierarchical_aggregate, hierarchical_aggregate_quant, AggrOp, AggrPlan, AggrResult, LeafFeats,
+    Strategy,
 };
-pub use memory::{admission_bytes, planned_admission_bytes, EngineError, MemoryBudget};
+pub use memory::{
+    admission_bytes, planned_admission_bytes, segment_residency_bytes, EngineError, MemoryBudget,
+};
 pub use nau::{NeighborSelection, StageTimes};

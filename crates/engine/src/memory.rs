@@ -36,6 +36,18 @@ pub fn planned_admission_bytes(est_vertices: f64, est_edges: f64, dim: usize) ->
     )
 }
 
+/// Resident bytes of one decoded CSR/CSC graph segment held by the
+/// paged store's cache: two `u32` offset arrays of `vertices + 1`
+/// entries each, plus the out- and in-adjacency arrays. The store's
+/// `PageCache` prices residency with this arithmetic and checks it
+/// against the same [`MemoryBudget`] the execution strategies use, so
+/// graph residency and transient tensors draw from one accounting
+/// scheme rather than two that can silently disagree.
+pub fn segment_residency_bytes(vertices: usize, out_edges: usize, in_edges: usize) -> usize {
+    let w = std::mem::size_of::<u32>();
+    2 * (vertices + 1) * w + (out_edges + in_edges) * w
+}
+
 /// Budget for transient (per-operation) tensor allocations.
 #[derive(Clone, Copy, Debug)]
 pub struct MemoryBudget {
@@ -139,6 +151,14 @@ mod tests {
             admission_bytes(10, 40, 8)
         );
         assert_eq!(planned_admission_bytes(-1.0, 0.4, 16), 0);
+    }
+
+    #[test]
+    fn segment_residency_counts_offsets_and_adjacency() {
+        // 10 vertices → two 11-entry u32 offset arrays; 30 + 30 edges
+        // → 60 u32 adjacency entries.
+        assert_eq!(segment_residency_bytes(10, 30, 30), 2 * 11 * 4 + 60 * 4);
+        assert_eq!(segment_residency_bytes(0, 0, 0), 8);
     }
 
     #[test]

@@ -10,20 +10,33 @@
 //! checkpoint v2) covering every preceding byte, so bit rot and torn
 //! writes surface as [`IoError::Corrupt`] instead of a mis-parsed
 //! graph. Version-1 files (no checksum) still load.
+//!
+//! Two hardening rules govern the parser:
+//!
+//! * **Validate before allocating.** Every allocation sized by a header
+//!   field (edge count, feature shape, label count) is preceded by a
+//!   check that the remaining bytes can actually hold that many
+//!   entries, so a corrupt or truncated file fails with a structured
+//!   error instead of a huge speculative allocation. This matters most
+//!   on the v1 path, which has no checksum to catch a flipped length.
+//! * **Errors carry context.** Every error names the byte offset where
+//!   parsing stopped, and the file-backed entry points ([`save`],
+//!   [`load`]) attach the path, so a corruption report says *which
+//!   file* and *which byte* — not just "truncated".
 
 use crate::csr::GraphBuilder;
 use crate::gen::Dataset;
 use flexgraph_tensor::Tensor;
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: u32 = 0x4647_4453; // "FGDS"
 const VERSION: u32 = 2;
 
 /// CRC-32 (IEEE 802.3 polynomial, bitwise). The shared integrity
-/// primitive of both the dataset format (v2) and checkpoint v2 —
-/// datasets and checkpoints are written once per run, so the simple
-/// bitwise form is fast enough.
+/// primitive of the dataset format (v2), checkpoint v2, and the paged
+/// store's segment trailers — datasets and checkpoints are written once
+/// per run, so the simple bitwise form is fast enough.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
@@ -36,32 +49,99 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Errors from dataset load/store.
+/// Errors from dataset load/store. Every variant carries the file path
+/// when the operation was file-backed ([`save`] / [`load`]; `None` for
+/// the in-memory [`from_bytes`]), and structural errors name the byte
+/// offset at which parsing stopped.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying filesystem error.
-    Io(std::io::Error),
+    Io {
+        /// The file being read or written, if file-backed.
+        path: Option<PathBuf>,
+        /// The originating error.
+        err: std::io::Error,
+    },
     /// Not a FlexGraph dataset file.
-    BadMagic,
+    BadMagic {
+        /// The offending file, if file-backed.
+        path: Option<PathBuf>,
+    },
     /// Incompatible format version.
-    BadVersion(u32),
+    BadVersion {
+        /// The offending file, if file-backed.
+        path: Option<PathBuf>,
+        /// The version the file claims.
+        version: u32,
+    },
     /// File ended early or fields disagree.
-    Corrupt(&'static str),
+    Corrupt {
+        /// The offending file, if file-backed.
+        path: Option<PathBuf>,
+        /// Byte offset at which the violation was detected.
+        offset: usize,
+        /// What was violated.
+        what: &'static str,
+    },
+}
+
+impl IoError {
+    /// Attaches a file path to an error raised by the in-memory parser,
+    /// so file-backed entry points report *which* file is corrupt.
+    pub fn with_path(mut self, p: &Path) -> Self {
+        let slot = match &mut self {
+            Self::Io { path, .. }
+            | Self::BadMagic { path }
+            | Self::BadVersion { path, .. }
+            | Self::Corrupt { path, .. } => path,
+        };
+        *slot = Some(p.to_path_buf());
+        self
+    }
+
+    /// The byte offset of a structural violation, if this is one.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            Self::Corrupt { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
 }
 
 impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
+    fn from(err: std::io::Error) -> Self {
+        Self::Io { path: None, err }
+    }
+}
+
+fn fmt_path(f: &mut std::fmt::Formatter<'_>, path: &Option<PathBuf>) -> std::fmt::Result {
+    match path {
+        Some(p) => write!(f, " in {}", p.display()),
+        None => Ok(()),
     }
 }
 
 impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Io(e) => write!(f, "io error: {e}"),
-            Self::BadMagic => write!(f, "not a FlexGraph dataset file"),
-            Self::BadVersion(v) => write!(f, "unsupported dataset version {v}"),
-            Self::Corrupt(what) => write!(f, "corrupt dataset file: {what}"),
+            Self::Io { path, err } => {
+                write!(f, "io error")?;
+                fmt_path(f, path)?;
+                write!(f, ": {err}")
+            }
+            Self::BadMagic { path } => {
+                write!(f, "not a FlexGraph dataset file")?;
+                fmt_path(f, path)
+            }
+            Self::BadVersion { path, version } => {
+                write!(f, "unsupported dataset version {version}")?;
+                fmt_path(f, path)
+            }
+            Self::Corrupt { path, offset, what } => {
+                write!(f, "corrupt dataset file")?;
+                fmt_path(f, path)?;
+                write!(f, " at byte {offset}: {what}")
+            }
         }
     }
 }
@@ -122,11 +202,34 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn corrupt(&self, what: &'static str) -> IoError {
+        IoError::Corrupt {
+            path: None,
+            offset: self.off,
+            what,
+        }
+    }
+
+    /// Bytes left to read.
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.off)
+    }
+
+    /// Fails (without allocating) unless `count * size` more bytes are
+    /// available — the preflight gate called before any allocation
+    /// sized by a header field.
+    fn preflight(&self, count: usize, size: usize, what: &'static str) -> Result<(), IoError> {
+        match count.checked_mul(size) {
+            Some(bytes) if bytes <= self.remaining() => Ok(()),
+            _ => Err(self.corrupt(what)),
+        }
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], IoError> {
         let s = self
             .buf
-            .get(self.off..self.off + n)
-            .ok_or(IoError::Corrupt("truncated"))?;
+            .get(self.off..self.off.saturating_add(n))
+            .ok_or_else(|| self.corrupt("truncated"))?;
         self.off += n;
         Ok(s)
     }
@@ -150,36 +253,55 @@ impl<'a> Reader<'a> {
 pub fn from_bytes(buf: &[u8]) -> Result<Dataset, IoError> {
     let mut r = Reader { buf, off: 0 };
     if r.u32()? != MAGIC {
-        return Err(IoError::BadMagic);
+        return Err(IoError::BadMagic { path: None });
     }
     let version = r.u32()?;
     if version != 1 && version != VERSION {
-        return Err(IoError::BadVersion(version));
+        return Err(IoError::BadVersion {
+            path: None,
+            version,
+        });
     }
     if version == VERSION {
         // Checksum before structure: a flipped bit in a length field
         // must not steer the structural parser.
         if buf.len() < 12 {
-            return Err(IoError::Corrupt("truncated"));
+            return Err(IoError::Corrupt {
+                path: None,
+                offset: buf.len(),
+                what: "truncated",
+            });
         }
         let body = &buf[..buf.len() - 4];
         let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().expect("4 bytes"));
         if crc32(body) != stored {
-            return Err(IoError::Corrupt("CRC mismatch"));
+            return Err(IoError::Corrupt {
+                path: None,
+                offset: buf.len() - 4,
+                what: "CRC mismatch",
+            });
         }
         r.buf = body;
     }
     let name_len = r.u32()? as usize;
     let name = String::from_utf8(r.take(name_len)?.to_vec())
-        .map_err(|_| IoError::Corrupt("name is not utf-8"))?;
+        .map_err(|_| r.corrupt("name is not utf-8"))?;
     let n = r.u64()? as usize;
     let m = r.u64()? as usize;
+    // Preflight both header counts before anything is allocated in
+    // proportion to them: the CSR offset arrays are `n + 1` entries and
+    // the label section alone needs `n * 4` trailing bytes, so a vertex
+    // count the file cannot back fails here — likewise an edge count
+    // (8 bytes per edge) from a flipped length field fails instead of
+    // growing an edge vector until the file runs out.
+    r.preflight(n, 4, "vertex count larger than file")?;
+    r.preflight(m, 8, "edge list longer than file")?;
     let mut b = GraphBuilder::new(n);
     for _ in 0..m {
         let s = r.u32()?;
         let d = r.u32()?;
         if s as usize >= n || d as usize >= n {
-            return Err(IoError::Corrupt("edge endpoint out of range"));
+            return Err(r.corrupt("edge endpoint out of range"));
         }
         b.add_edge(s, d);
     }
@@ -192,20 +314,32 @@ pub fn from_bytes(buf: &[u8]) -> Result<Dataset, IoError> {
     let rows = r.u32()? as usize;
     let cols = r.u32()? as usize;
     if rows != n {
-        return Err(IoError::Corrupt("feature row count mismatch"));
+        return Err(r.corrupt("feature row count mismatch"));
     }
-    let raw = r.take(rows * cols * 4)?;
+    // Preflight the feature matrix: `rows * cols * 4` must fit in the
+    // remaining bytes (and in usize) before anything is allocated.
+    let fbytes = rows
+        .checked_mul(cols)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| r.corrupt("feature shape overflows"))?;
+    if fbytes > r.remaining() {
+        return Err(r.corrupt("feature matrix longer than file"));
+    }
+    let raw = r.take(fbytes)?;
     let data: Vec<f32> = raw
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect();
     let features = Tensor::from_vec(rows, cols, data);
     let num_classes = r.u32()? as usize;
+    // Preflight the label array (4 bytes per label) before reserving
+    // capacity for `n` entries.
+    r.preflight(n, 4, "label array longer than file")?;
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
         let l = r.u32()? as usize;
         if l >= num_classes {
-            return Err(IoError::Corrupt("label out of range"));
+            return Err(r.corrupt("label out of range"));
         }
         labels.push(l);
     }
@@ -221,16 +355,25 @@ pub fn from_bytes(buf: &[u8]) -> Result<Dataset, IoError> {
 
 /// Writes a dataset to `path`.
 pub fn save(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&to_bytes(ds))?;
-    Ok(())
+    let path = path.as_ref();
+    let go = || -> Result<(), IoError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&to_bytes(ds))?;
+        Ok(())
+    };
+    go().map_err(|e| e.with_path(path))
 }
 
-/// Reads a dataset from `path`.
+/// Reads a dataset from `path`. Errors name the path and (for
+/// structural violations) the byte offset.
 pub fn load(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
-    let mut buf = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut buf)?;
-    from_bytes(&buf)
+    let path = path.as_ref();
+    let go = || -> Result<Dataset, IoError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut buf)?;
+        from_bytes(&buf)
+    };
+    go().map_err(|e| e.with_path(path))
 }
 
 #[cfg(test)]
@@ -280,16 +423,19 @@ mod tests {
         // Bad magic.
         let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
-        assert!(matches!(from_bytes(&bad), Err(IoError::BadMagic)));
+        assert!(matches!(from_bytes(&bad), Err(IoError::BadMagic { .. })));
         // Truncation.
         assert!(matches!(
             from_bytes(&bytes[..bytes.len() - 3]),
-            Err(IoError::Corrupt(_))
+            Err(IoError::Corrupt { .. })
         ));
         // Bad version.
         let mut badv = bytes.clone();
         badv[4] = 99;
-        assert!(matches!(from_bytes(&badv), Err(IoError::BadVersion(_))));
+        assert!(matches!(
+            from_bytes(&badv),
+            Err(IoError::BadVersion { version: 99, .. })
+        ));
     }
 
     #[test]
@@ -303,7 +449,7 @@ mod tests {
             let mut evil = bytes.clone();
             evil[byte] ^= 0x10;
             assert!(
-                matches!(from_bytes(&evil), Err(IoError::Corrupt(_))),
+                matches!(from_bytes(&evil), Err(IoError::Corrupt { .. })),
                 "flip at byte {byte} accepted"
             );
         }
@@ -315,7 +461,7 @@ mod tests {
         let bytes = to_bytes(&ds);
         for cut in [bytes.len() - 1, bytes.len() - 5, 11, 8] {
             assert!(
-                matches!(from_bytes(&bytes[..cut]), Err(IoError::Corrupt(_))),
+                matches!(from_bytes(&bytes[..cut]), Err(IoError::Corrupt { .. })),
                 "truncation to {cut} bytes accepted"
             );
         }
@@ -336,6 +482,62 @@ mod tests {
     }
 
     #[test]
+    fn v1_bogus_lengths_fail_before_allocating() {
+        // A v1 file has no CRC, so a flipped length field reaches the
+        // structural parser — the preflight checks must reject it from
+        // the *declared sizes alone*, before any proportional
+        // allocation. An absurd edge count in a tiny file:
+        let ds = community(10, 2, 2, 1, 2, 79);
+        let mut v1 = to_bytes(&ds);
+        v1.truncate(v1.len() - 4);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        // Edge count lives after magic(4) + version(4) + name_len(4) +
+        // name + num_vertices(8).
+        let name_len = u32::from_le_bytes(v1[8..12].try_into().unwrap()) as usize;
+        let m_off = 12 + name_len + 8;
+        let mut evil = v1.clone();
+        evil[m_off..m_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match from_bytes(&evil) {
+            Err(IoError::Corrupt { what, .. }) => {
+                assert_eq!(what, "edge list longer than file")
+            }
+            other => panic!("huge edge count accepted: {other:?}"),
+        }
+        // An absurd vertex count hits the label preflight (the edge
+        // list still parses — its length is independent of n).
+        let mut evil_n = v1.clone();
+        let n_off = 12 + name_len;
+        evil_n[n_off..n_off + 8].copy_from_slice(&(u64::MAX / 8).to_le_bytes());
+        assert!(
+            matches!(from_bytes(&evil_n), Err(IoError::Corrupt { .. })),
+            "huge vertex count accepted"
+        );
+    }
+
+    #[test]
+    fn errors_carry_path_and_offset() {
+        let ds = community(20, 2, 3, 1, 4, 80);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("flexgraph_io_ctx_{}.fgds", std::process::id()));
+        let mut bytes = to_bytes(&ds);
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(path.file_name().unwrap().to_str().unwrap()),
+            "error must name the file: {msg}"
+        );
+        assert!(msg.contains("byte"), "error must name the offset: {msg}");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing files report the path too.
+        let missing = dir.join("flexgraph_io_definitely_missing.fgds");
+        let err = load(&missing).unwrap_err();
+        assert!(err.to_string().contains("flexgraph_io_definitely_missing"));
+    }
+
+    #[test]
     fn crc32_matches_known_vector() {
         // IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
@@ -347,6 +549,6 @@ mod tests {
         let mut ds = community(20, 2, 3, 1, 4, 75);
         ds.labels[3] = 7; // num_classes = 2.
         let bytes = to_bytes(&ds);
-        assert!(matches!(from_bytes(&bytes), Err(IoError::Corrupt(_))));
+        assert!(matches!(from_bytes(&bytes), Err(IoError::Corrupt { .. })));
     }
 }

@@ -1,0 +1,79 @@
+//! Dataset-format robustness properties (ISSUE 10, satellite 1).
+//!
+//! The parser's contract is that *no* prefix of a valid file — and no
+//! single-byte corruption of one — is ever accepted, panics, or
+//! triggers an allocation proportional to a header field that the file
+//! cannot back. The truncation property below literally cuts a valid
+//! file at **every** offset (both the checksummed v2 layout and the
+//! unchecksummed legacy v1 layout, whose only protection is the
+//! validate-before-allocate discipline) and demands a structured error
+//! each time.
+
+use flexgraph_graph::gen::community;
+use flexgraph_graph::io::{from_bytes, to_bytes, IoError};
+use proptest::prelude::*;
+
+/// Rebuilds a v2 byte image as legacy v1: same body, version = 1, no
+/// trailing CRC word.
+fn as_v1(v2: &[u8]) -> Vec<u8> {
+    let mut v1 = v2[..v2.len() - 4].to_vec();
+    v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+    v1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Truncation at EVERY offset of a valid file is rejected with a
+    /// structured error — never a panic, never a silent success — in
+    /// both format versions.
+    #[test]
+    fn truncation_at_every_offset_is_rejected(
+        n in 8usize..40,
+        classes in 2usize..4,
+        dim in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let ds = community(n, classes, 3, 1, dim, seed);
+        let v2 = to_bytes(&ds);
+        let v1 = as_v1(&v2);
+        for bytes in [&v2, &v1] {
+            for cut in 0..bytes.len() {
+                match from_bytes(&bytes[..cut]) {
+                    Err(_) => {}
+                    Ok(_) => prop_assert!(false, "accepted a {cut}-byte prefix of a {}-byte file", bytes.len()),
+                }
+            }
+            // The untruncated file still loads.
+            prop_assert!(from_bytes(bytes).is_ok());
+        }
+    }
+
+    /// Single-byte corruption of the *unchecksummed* v1 layout either
+    /// loads as some dataset (flips in feature payloads are invisible
+    /// without a CRC) or fails with a structured error that names the
+    /// offending byte offset — it must never panic.
+    #[test]
+    fn v1_corruption_never_panics_and_errors_carry_offsets(
+        n in 8usize..32,
+        seed in 0u64..1000,
+        byte_frac in 0.0f64..1.0,
+        flip in 1u32..256,
+    ) {
+        let ds = community(n, 2, 3, 1, 4, seed);
+        let v1 = as_v1(&to_bytes(&ds));
+        let byte = ((v1.len() - 1) as f64 * byte_frac) as usize;
+        let mut evil = v1.clone();
+        evil[byte] ^= flip as u8;
+        match from_bytes(&evil) {
+            Ok(_) => {}
+            Err(IoError::Corrupt { offset, path, .. }) => {
+                prop_assert!(offset <= evil.len());
+                prop_assert!(path.is_none(), "in-memory parse must not invent a path");
+            }
+            Err(IoError::BadMagic { .. }) => prop_assert!(byte < 4),
+            Err(IoError::BadVersion { .. }) => prop_assert!((4..8).contains(&byte)),
+            Err(IoError::Io { .. }) => prop_assert!(false, "no filesystem involved"),
+        }
+    }
+}

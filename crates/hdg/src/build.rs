@@ -274,16 +274,28 @@ pub fn hop_shell_records(
         if shell.is_empty() {
             continue;
         }
-        if cap > 0 && shell.len() > cap {
-            shell.sort_unstable_by_key(|&u| {
-                (mix64(seed ^ mix64((root as u64) << 32 | u as u64)), u)
-            });
-            shell.truncate(cap);
-            shell.sort_unstable();
-        }
+        cap_shell(&mut shell, root, cap, seed);
         out.push((t as u16, shell));
     }
     out
+}
+
+/// Applies the sampling cap to one hop shell in place: members are
+/// ranked by a pure SplitMix64 hash of `(seed, root, member)`, the
+/// `cap` smallest ranks survive, and the survivors are re-sorted into
+/// ascending vertex order. `cap = 0` (or a shell already within the
+/// cap) is a no-op.
+///
+/// This is a pure function of its arguments, shared by the in-RAM
+/// builder above and the paged store's out-of-core hop-shell builder —
+/// both paths therefore select *identical* leaves for any root, which
+/// the out-of-core ↔ in-RAM bitwise-parity guarantee rests on.
+pub fn cap_shell(shell: &mut Vec<VertexId>, root: VertexId, cap: usize, seed: u64) {
+    if cap > 0 && shell.len() > cap {
+        shell.sort_unstable_by_key(|&u| (mix64(seed ^ mix64((root as u64) << 32 | u as u64)), u));
+        shell.truncate(cap);
+        shell.sort_unstable();
+    }
 }
 
 #[cfg(test)]

@@ -31,8 +31,8 @@ pub mod record;
 pub mod trace;
 
 pub use record::{
-    CommCounters, FabricCounters, LatencyHistogram, PartitionRecord, ServeRecord, Stage,
-    StageSample, TenantServeRecord, TraceEpoch, LATENCY_BUCKETS,
+    CommCounters, FabricCounters, LatencyHistogram, PageCacheRecord, PartitionRecord, ServeRecord,
+    Stage, StageSample, TenantServeRecord, TraceEpoch, LATENCY_BUCKETS,
 };
 pub use trace::{parse_line, TraceLine, TRACE_VERSION};
 
@@ -267,6 +267,22 @@ pub fn emit_tenant_serve(rec: &TenantServeRecord) {
     let Some(s) = guard.as_mut() else { return };
     let vt = s.next_vt();
     let line = trace::render_tenant_serve(vt, rec);
+    s.line(&line);
+    if let Some(w) = s.out.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Writes one page-cache window from the paged graph store to the
+/// active trace session as a `pgc` line. No-op when no session is open.
+pub fn emit_page_cache(rec: &PageCacheRecord) {
+    if !trace_active() {
+        return;
+    }
+    let mut guard = SESSION.lock().unwrap();
+    let Some(s) = guard.as_mut() else { return };
+    let vt = s.next_vt();
+    let line = trace::render_page_cache(vt, rec);
     s.line(&line);
     if let Some(w) = s.out.as_mut() {
         let _ = w.flush();

@@ -317,6 +317,55 @@ impl TenantServeRecord {
     }
 }
 
+/// One page-cache observation window from the paged graph store
+/// (ISSUE 10): segment fetch/hit/miss/eviction counters plus the
+/// residency snapshot at emit time. Counters are deterministic
+/// functions of the access sequence — the cache is consulted in the
+/// same order regardless of `FLEXGRAPH_THREADS` — so `pgc` trace lines
+/// stay byte-identical across thread counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageCacheRecord {
+    /// Segment lookups (hits + misses).
+    pub fetches: u64,
+    /// Lookups satisfied from resident segments.
+    pub hits: u64,
+    /// Lookups that went to disk.
+    pub misses: u64,
+    /// Resident segments evicted to make room.
+    pub evictions: u64,
+    /// Compressed bytes read from the store file (misses only).
+    pub bytes_read: u64,
+    /// Decoded bytes resident when the record was emitted.
+    pub resident_bytes: u64,
+    /// The configured residency budget in bytes (a label; merges by
+    /// max, like `quant`).
+    pub budget_bytes: u64,
+}
+
+impl PageCacheRecord {
+    /// Field-wise sum; the residency snapshot and budget label merge by
+    /// max (summing two snapshots of the same cache would double-count
+    /// resident bytes).
+    pub fn merge(&mut self, other: &PageCacheRecord) {
+        self.fetches += other.fetches;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.bytes_read += other.bytes_read;
+        self.resident_bytes = self.resident_bytes.max(other.resident_bytes);
+        self.budget_bytes = self.budget_bytes.max(other.budget_bytes);
+    }
+
+    /// Hit rate over the window, `0.0` when nothing was fetched.
+    pub fn hit_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.fetches as f64
+        }
+    }
+}
+
 /// Everything one worker observed during one epoch.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionRecord {
@@ -589,6 +638,39 @@ mod tests {
         let mut m2 = b;
         m2.merge(&a);
         assert_eq!(m, m2, "merge is commutative");
+    }
+
+    #[test]
+    fn page_cache_record_merge_sums_counters_maxes_residency() {
+        let a = PageCacheRecord {
+            fetches: 10,
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            bytes_read: 4096,
+            resident_bytes: 1 << 20,
+            budget_bytes: 2 << 20,
+        };
+        let b = PageCacheRecord {
+            fetches: 4,
+            hits: 2,
+            misses: 2,
+            evictions: 2,
+            bytes_read: 8192,
+            resident_bytes: 3 << 20,
+            budget_bytes: 2 << 20,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.fetches, 14);
+        assert_eq!(ab.hits, 9);
+        assert_eq!(ab.bytes_read, 12288);
+        assert_eq!(ab.resident_bytes, 3 << 20, "snapshot merges by max");
+        assert!((ab.hit_rate() - 9.0 / 14.0).abs() < 1e-12);
+        assert_eq!(PageCacheRecord::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //! fixed schema.
 
 use crate::record::{
-    FabricCounters, PartitionRecord, ServeRecord, Stage, TenantServeRecord, TraceEpoch,
+    FabricCounters, PageCacheRecord, PartitionRecord, ServeRecord, Stage, TenantServeRecord,
+    TraceEpoch,
 };
 use std::fmt::Write as _;
 
@@ -177,6 +178,30 @@ pub fn render_tenant_serve(vt: u64, rec: &TenantServeRecord) -> String {
     )
 }
 
+/// Renders one page-cache window from the paged graph store as a
+/// `pgc` line:
+///
+/// ```text
+/// {"k":"pgc","vt":7,"io":[fetches,hits,misses,evictions,bytes_read],
+///  "mem":[resident_bytes,budget_bytes]}
+/// ```
+///
+/// All fields are integer counters or byte counts derived from the
+/// segment access sequence, which is identical across thread counts —
+/// the same byte-stability contract as every other record kind.
+pub fn render_page_cache(vt: u64, rec: &PageCacheRecord) -> String {
+    format!(
+        "{{\"k\":\"pgc\",\"vt\":{vt},\"io\":[{},{},{},{},{}],\"mem\":[{},{}]}}",
+        rec.fetches,
+        rec.hits,
+        rec.misses,
+        rec.evictions,
+        rec.bytes_read,
+        rec.resident_bytes,
+        rec.budget_bytes,
+    )
+}
+
 /// A parsed trace line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceLine {
@@ -219,6 +244,8 @@ pub enum TraceLine {
         p50: u64,
         p99: u64,
     },
+    /// One page-cache window from the paged graph store.
+    PageCache { vt: u64, record: PageCacheRecord },
 }
 
 /// Parses one trace line, validating it against the documented schema.
@@ -247,6 +274,7 @@ pub fn parse_line(line: &str) -> Result<TraceLine, String> {
         "epoch" => parse_epoch(&mut p),
         "serve" => parse_serve(&mut p),
         "tser" => parse_tenant_serve(&mut p),
+        "pgc" => parse_page_cache(&mut p),
         other => Err(format!("unknown record kind {other:?}")),
     }
 }
@@ -466,6 +494,38 @@ fn parse_tenant_serve(p: &mut Parser) -> Result<TraceLine, String> {
         },
         p50,
         p99,
+    })
+}
+
+fn parse_page_cache(p: &mut Parser) -> Result<TraceLine, String> {
+    p.expect(',')?;
+    p.named_key("vt")?;
+    let vt = p.number()?;
+    p.expect(',')?;
+    p.named_key("io")?;
+    let io = p.fixed_array(5)?;
+    p.expect(',')?;
+    p.named_key("mem")?;
+    let mem = p.fixed_array(2)?;
+    p.expect('}')?;
+    p.end()?;
+    if io[1] + io[2] != io[0] {
+        return Err("hits + misses != fetches".into());
+    }
+    if io[3] > io[2] {
+        return Err("evictions > misses".into());
+    }
+    Ok(TraceLine::PageCache {
+        vt,
+        record: PageCacheRecord {
+            fetches: io[0],
+            hits: io[1],
+            misses: io[2],
+            evictions: io[3],
+            bytes_read: io[4],
+            resident_bytes: mem[0],
+            budget_bytes: mem[1],
+        },
     })
 }
 
@@ -818,6 +878,48 @@ mod tests {
             // Pre-quant schema (missing the label).
             "{\"k\":\"serve\",\"vt\":1,\"reqs\":[2,2,0],\"batches\":[1,2],\"cache\":[0,0],\"queue\":[0],\"lat\":[0,0,0,0,0]}",
             "{\"k\":\"serve\",\"vt\":1}",
+        ] {
+            assert!(parse_line(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn page_cache_round_trip() {
+        let r = PageCacheRecord {
+            fetches: 120,
+            hits: 90,
+            misses: 30,
+            evictions: 12,
+            bytes_read: 1 << 22,
+            resident_bytes: 48 << 20,
+            budget_bytes: 64 << 20,
+        };
+        let line = render_page_cache(5, &r);
+        assert_eq!(
+            line,
+            "{\"k\":\"pgc\",\"vt\":5,\"io\":[120,90,30,12,4194304],\"mem\":[50331648,67108864]}"
+        );
+        match parse_line(&line).unwrap() {
+            TraceLine::PageCache { vt, record } => {
+                assert_eq!(vt, 5);
+                assert_eq!(record, r);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_page_cache_lines_are_rejected() {
+        for bad in [
+            // hits + misses must equal fetches.
+            "{\"k\":\"pgc\",\"vt\":1,\"io\":[10,5,4,0,0],\"mem\":[0,0]}",
+            // Every evicted segment was once inserted by a miss, so
+            // evictions can never exceed misses.
+            "{\"k\":\"pgc\",\"vt\":1,\"io\":[10,5,5,6,0],\"mem\":[0,0]}",
+            // Wrong arities.
+            "{\"k\":\"pgc\",\"vt\":1,\"io\":[10,5,5,0],\"mem\":[0,0]}",
+            "{\"k\":\"pgc\",\"vt\":1,\"io\":[10,5,5,0,0],\"mem\":[0]}",
+            "{\"k\":\"pgc\",\"vt\":1}",
         ] {
             assert!(parse_line(bad).is_err(), "accepted: {bad}");
         }

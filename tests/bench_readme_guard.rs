@@ -25,7 +25,7 @@ fn num_after(s: &str, key: &str, from: usize) -> (f64, usize) {
     let needle = format!("\"{key}\":");
     let at = s[from..]
         .find(&needle)
-        .unwrap_or_else(|| panic!("BENCH_serve.json has no `{key}` after offset {from}"));
+        .unwrap_or_else(|| panic!("the bench JSON has no `{key}` after offset {from}"));
     let start = from + at + needle.len();
     let rest = s[start..].trim_start();
     let end = rest
@@ -49,7 +49,7 @@ fn assert_claimed(readme: &str, claim: &str, what: &str) {
     assert!(
         readme.contains(claim),
         "README no longer claims `{claim}` ({what}) — it drifted from the \
-         committed BENCH_serve.json; update whichever side is stale"
+         committed bench JSON; update whichever side is stale"
     );
 }
 
@@ -91,4 +91,44 @@ fn readme_serve_claims_match_committed_bench_json() {
         bitwise,
         "committed BENCH_serve.json no longer records bitwise_identical: true"
     );
+}
+
+#[test]
+fn readme_store_claims_match_committed_bench_json() {
+    let root = repo_root();
+    let json =
+        std::fs::read_to_string(root.join("BENCH_store.json")).expect("committed BENCH_store.json");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+
+    // The deterministic claims the README quotes, as it rounds them:
+    // the residency-over-budget headline ("8.0×") and the budgeted
+    // run's hit rate ("0.88"). Wall-clock fields (stream/scan MB/s,
+    // cold/warm times) are deliberately not quoted as numbers — they
+    // jitter run to run, so the README keeps them qualitative.
+    let (ratio, _) = num_after(&json, "residency_over_budget", 0);
+    assert_claimed(&readme, &format!("{ratio:.1}×"), "residency_over_budget");
+    let (hit, _) = num_after(&json, "hit_rate", 0);
+    assert_claimed(&readme, &format!("{hit:.2} hit rate"), "hit_rate");
+
+    // The committed run must record the deterministic claims as held:
+    // bitwise parity overall and per thread count, evictions happening,
+    // and a ratio at or above the README's 8× story.
+    assert!(
+        json.contains("\"all_bitwise_identical\": true"),
+        "committed BENCH_store.json no longer records all_bitwise_identical: true"
+    );
+    assert!(
+        !json.contains("\"bitwise_identical\": false"),
+        "a committed BENCH_store.json thread row lost bitwise parity"
+    );
+    assert!(
+        ratio >= 8.0,
+        "committed residency_over_budget {ratio} fell below the 8x claim"
+    );
+    let mut at = 0;
+    for _ in 0..2 {
+        let (ev, next) = num_after(&json, "evictions", at);
+        assert!(ev > 0.0, "a committed thread row records zero evictions");
+        at = next;
+    }
 }

@@ -1,0 +1,178 @@
+//! Out-of-core ↔ in-RAM parity (ISSUE 10, satellite 3).
+//!
+//! Property: a random R-MAT graph round-tripped through the paged store
+//! yields **bitwise-identical** CSR arrays, HDG hop shells, and engine
+//! forward passes — under `FLEXGRAPH_THREADS` 1 and 4 and under
+//! page-cache budgets tight enough to force eviction. The paged store
+//! may change *where* bytes live (disk, cache, evicted) but never
+//! *what* they decode to.
+
+use flexgraph::engine::{hierarchical_aggregate, AggrOp, AggrPlan, MemoryBudget, Strategy};
+use flexgraph::graph::bfs::hop_shells;
+use flexgraph::graph::gen;
+use flexgraph::hdg::build::{from_direct_neighbors, from_hop_shells_capped};
+use flexgraph::store::{
+    forward_out_of_core, hdg_from_direct_neighbors, hdg_from_hop_shells_capped, paged_hop_shells,
+    rmat_to_store, write_graph, Neighborhood, PagedGraph,
+};
+use flexgraph::tensor::set_thread_override;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A fresh store path under the target-local temp dir; unique per
+/// (test, case) so parallel test binaries never collide.
+fn store_path(tag: &str, scale: u32, seed: u64, segv: u32) -> PathBuf {
+    let dir = std::env::temp_dir().join("flexgraph-paged-parity");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-s{scale}-r{seed}-v{segv}.fgps"))
+}
+
+/// A page-cache budget that holds roughly two of the store's widest
+/// segments — enough to make progress, small enough that touching every
+/// segment twice must evict.
+fn two_segment_budget(pg: &PagedGraph) -> MemoryBudget {
+    let mut widest = 0usize;
+    for sid in 0..pg.num_segments() {
+        let seg = pg.segment(sid).unwrap();
+        widest = widest.max(seg.residency_bytes());
+    }
+    pg.drop_cache();
+    MemoryBudget { bytes: widest * 2 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streamed generation, the rehydrated graph, and the in-RAM
+    /// generator agree on every CSR array.
+    #[test]
+    fn round_trip_preserves_csr_arrays(
+        scale in 5u32..8,
+        edge_factor in 2usize..6,
+        seed in 0u64..1000,
+        segv in 5u32..40,
+    ) {
+        let ds = gen::rmat(scale, edge_factor, 3, 4, seed, "parity");
+        let g = &ds.graph;
+        let path = store_path("csr", scale, seed, segv);
+        rmat_to_store(&path, scale, edge_factor, seed, segv).unwrap();
+
+        let pg = PagedGraph::open(&path, MemoryBudget::unlimited()).unwrap();
+        prop_assert_eq!(pg.num_vertices(), g.num_vertices());
+        prop_assert_eq!(pg.num_edges(), g.num_edges());
+        let back = pg.to_graph().unwrap();
+        prop_assert_eq!(back.out_offsets(), g.out_offsets());
+        prop_assert_eq!(back.in_offsets(), g.in_offsets());
+        prop_assert_eq!(back.in_sources(), g.in_sources());
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(back.out_neighbors(v), g.out_neighbors(v));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Paged BFS shells and paged HDG builders match the in-RAM ones
+    /// exactly, even with a budget that forces eviction mid-build.
+    #[test]
+    fn hop_shells_and_hdgs_match_in_ram(
+        scale in 5u32..8,
+        seed in 0u64..1000,
+        k in 1usize..4,
+        cap in 0usize..5,
+    ) {
+        let ds = gen::rmat(scale, 4, 3, 4, seed, "parity");
+        let g = &ds.graph;
+        let segv = 8;
+        let path = store_path("hdg", scale, seed, segv);
+        write_graph(g, &path, segv).unwrap();
+
+        let probe = PagedGraph::open(&path, MemoryBudget::unlimited()).unwrap();
+        let budget = two_segment_budget(&probe);
+        drop(probe);
+        let pg = PagedGraph::open(&path, budget).unwrap();
+
+        let n = g.num_vertices() as u32;
+        for root in [0, n / 3, n - 1] {
+            prop_assert_eq!(paged_hop_shells(&pg, root, k).unwrap(), hop_shells(g, root, k));
+        }
+
+        let roots: Vec<u32> = (0..n).collect();
+        let a = hdg_from_direct_neighbors(&pg, roots.clone()).unwrap();
+        let b = from_direct_neighbors(g, roots.clone());
+        prop_assert_eq!(a.leaf_sources(), b.leaf_sources());
+        prop_assert_eq!(a.inst_offsets(), b.inst_offsets());
+        prop_assert_eq!(a.group_offsets(), b.group_offsets());
+
+        let a = hdg_from_hop_shells_capped(&pg, roots.clone(), k, cap, seed).unwrap();
+        let b = from_hop_shells_capped(g, roots, k, cap, seed);
+        prop_assert_eq!(a.leaf_sources(), b.leaf_sources());
+        prop_assert_eq!(a.inst_offsets(), b.inst_offsets());
+        prop_assert_eq!(a.group_offsets(), b.group_offsets());
+
+        if pg.num_segments() >= 3 {
+            prop_assert!(pg.cache_stats().evictions > 0, "budget was meant to force eviction");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The out-of-core forward pass is bitwise-identical to the in-RAM
+    /// engine at FLEXGRAPH_THREADS 1 and 4, with eviction happening.
+    #[test]
+    fn forward_pass_is_bitwise_identical_across_threads(
+        scale in 5u32..7,
+        seed in 0u64..1000,
+        partition_size in 3usize..50,
+    ) {
+        let ds = gen::rmat(scale, 4, 3, 4, seed, "parity");
+        let g = &ds.graph;
+        let segv = 8;
+        let path = store_path("fwd", scale, seed, segv);
+        write_graph(g, &path, segv).unwrap();
+
+        let probe = PagedGraph::open(&path, MemoryBudget::unlimited()).unwrap();
+        let budget = two_segment_budget(&probe);
+        drop(probe);
+
+        let n = g.num_vertices() as u32;
+        let roots: Vec<u32> = (0..n).collect();
+        let plan = AggrPlan::flat(AggrOp::Sum);
+        let feat_fn = |v: u32| ds.features.row(v as usize).to_vec();
+        let dim = ds.features.cols();
+
+        set_thread_override(Some(1));
+        let hdg = from_direct_neighbors(g, roots.clone());
+        let want =
+            hierarchical_aggregate(&hdg, &ds.features, &plan, Strategy::SaFa, &MemoryBudget::unlimited())
+                .unwrap();
+
+        let mut evictions = 0;
+        for threads in [1usize, 4] {
+            set_thread_override(Some(threads));
+            let pg = PagedGraph::open(&path, budget).unwrap();
+            let got = forward_out_of_core(
+                &pg,
+                &roots,
+                &Neighborhood::Direct,
+                partition_size,
+                &feat_fn,
+                dim,
+                &plan,
+                Strategy::SaFa,
+                &MemoryBudget::unlimited(),
+            )
+            .unwrap();
+            set_thread_override(None);
+            prop_assert_eq!(
+                got.features.data(),
+                want.features.data(),
+                "threads={} partition_size={}",
+                threads,
+                partition_size
+            );
+            evictions = pg.cache_stats().evictions;
+        }
+        if PagedGraph::open(&path, MemoryBudget::unlimited()).unwrap().num_segments() >= 3 {
+            prop_assert!(evictions > 0, "budget was meant to force eviction");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

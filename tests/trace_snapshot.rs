@@ -114,6 +114,9 @@ fn every_trace_record_parses_against_the_schema() {
             TraceLine::Serve { .. } | TraceLine::TenantServe { .. } => {
                 panic!("a training trace must not contain serve records");
             }
+            TraceLine::PageCache { .. } => {
+                panic!("an in-RAM training trace must not contain page-cache records");
+            }
         }
     }
     assert_eq!(epoch_records, 2);
